@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Leakage extension (the paper's deferred benefit): the introduction
+ * notes that supply scaling also cuts leakage with ~VDD^3..4 but the
+ * evaluation models dynamic power only (leakage is small at 0.18 um).
+ * This bench sweeps the leakage share of total power - standing in
+ * for newer technology nodes - and shows VSV's savings growing with
+ * it: the low-voltage windows now also cut the leakage of the scaled
+ * domain by (1.2/1.8)^3 = 0.30x, an effect clock gating cannot touch
+ * at all.
+ *
+ * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+
+using namespace vsv;
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+    const std::uint64_t insts = config.getUInt("instructions", 200000);
+    const std::uint64_t warmup = config.getUInt("warmup", 300000);
+
+    std::vector<std::string> benchmarks = {"mcf", "ammp", "lucas"};
+    {
+        const std::string raw = config.getString("benchmarks", "");
+        if (!raw.empty()) {
+            benchmarks.clear();
+            std::stringstream ss(raw);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                benchmarks.push_back(item);
+        }
+    }
+
+    // leakageFraction is per-structure relative to its busy-cycle
+    // dynamic power; the resulting share of *total* power depends on
+    // activity and is reported per run.
+    const double fractions[] = {0.0, 0.03, 0.08, 0.15};
+
+    std::cout << "Leakage-node ablation (paper future-work: VSV also "
+                 "cuts leakage ~VDD^3)\n";
+    std::cout << "(cells: VSV power savings %; leak share = leakage as "
+                 "% of baseline energy)\n\n";
+
+    std::vector<std::string> headers{"bench"};
+    for (const double f : fractions)
+        headers.push_back("frac " + TextTable::num(f, 2));
+    headers.push_back("leak share @0.15");
+    TextTable table(headers);
+
+    for (const auto &bench : benchmarks) {
+        std::vector<std::string> row{bench};
+        double last_leak_share = 0.0;
+        for (const double f : fractions) {
+            SimulationOptions base = makeOptions(bench, false, insts,
+                                                 warmup);
+            base.power.leakageFraction = f;
+            Simulator base_sim(base);
+            const SimulationResult base_result = base_sim.run();
+            // Leakage only accrues in the measured window, so divide
+            // by the window's energy delta, not the lifetime total.
+            last_leak_share =
+                100.0 * base_sim.powerModel().leakageEnergyPj() /
+                base_result.energyPj;
+
+            SimulationOptions vsv = base;
+            vsv.vsv = fsmVsvConfig();
+            Simulator vsv_sim(vsv);
+            const VsvComparison cmp =
+                makeComparison(base_result, vsv_sim.run());
+            row.push_back(TextTable::num(cmp.powerSavingsPct, 1));
+        }
+        row.push_back(TextTable::num(last_leak_share, 1) + "%");
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nreading guide: VSV's savings persist as the "
+                 "leakage share grows - the low-voltage\nwindows cut "
+                 "the scaled domain's leakage by (1.2/1.8)^3 = 0.30x, "
+                 "so leakage is saved\nat roughly the same rate as "
+                 "dynamic power. Gating-based techniques, by contrast,"
+                 "\ncannot reduce leakage at all, so VSV's relative "
+                 "advantage grows with the node's\nleakiness - the "
+                 "paper's deferred argument.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The paper's Section 6 opening argument, quantified: "most modern
+ * processors use clock gating and software prefetching... reducing
+ * VSV's opportunity. However, VSV has at least two advantages over
+ * clock gating: (1) clock gating cannot reduce power of used circuits
+ * while VSV can, and (2) clock gating cannot gate all unused circuits
+ * if the clock gate signal's timing is too tight."
+ *
+ * This bench measures VSV's savings under four baselines: with and
+ * without deterministic clock gating, and with and without software
+ * prefetching (the SPEC peak binaries' compiled-in prefetches).
+ *
+ * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+
+using namespace vsv;
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+    const std::uint64_t insts = config.getUInt("instructions", 200000);
+    const std::uint64_t warmup = config.getUInt("warmup", 300000);
+
+    std::vector<std::string> benchmarks = {"mcf", "ammp", "lucas",
+                                           "applu"};
+    {
+        const std::string raw = config.getString("benchmarks", "");
+        if (!raw.empty()) {
+            benchmarks.clear();
+            std::stringstream ss(raw);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                benchmarks.push_back(item);
+        }
+    }
+
+    struct Variant
+    {
+        const char *label;
+        bool dcg;
+        bool swPrefetch;
+    };
+    const Variant variants[] = {
+        {"DCG + swPF (paper)", true, true},
+        {"DCG, no swPF", true, false},
+        {"no DCG, swPF", false, true},
+        {"neither", false, false},
+    };
+
+    std::cout << "VSV's opportunity vs the baseline's own power/"
+                 "performance techniques\n";
+    std::cout << "(cells: baseline MR | VSV degradation % / savings %)\n\n";
+
+    std::vector<std::string> headers{"baseline"};
+    for (const auto &bench : benchmarks)
+        headers.push_back(bench);
+    TextTable table(headers);
+
+    for (const Variant &variant : variants) {
+        std::vector<std::string> row{variant.label};
+        for (const auto &bench : benchmarks) {
+            SimulationOptions base = makeOptions(bench, false, insts,
+                                                 warmup);
+            base.power.gating = variant.dcg ? GatingStyle::Dcg
+                                            : GatingStyle::Simple;
+            if (!variant.swPrefetch)
+                base.profile.swPrefetchCoverage = 0.0;
+            Simulator base_sim(base);
+            const SimulationResult base_result = base_sim.run();
+
+            SimulationOptions vsv = base;
+            vsv.vsv = fsmVsvConfig();
+            Simulator vsv_sim(vsv);
+            const VsvComparison cmp =
+                makeComparison(base_result, vsv_sim.run());
+            row.push_back(TextTable::num(base_result.mr, 1) + " | " +
+                          TextTable::num(cmp.perfDegradationPct, 1) +
+                          "/" + TextTable::num(cmp.powerSavingsPct, 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nreading guide: dropping software prefetching raises "
+                 "the miss rate and VSV's\nopportunity; dropping DCG "
+                 "raises the baseline's idle power, which VSV then\n"
+                 "recovers on top of its usual savings - both directions "
+                 "of the paper's argument\nthat VSV remains worthwhile "
+                 "even in an aggressive baseline.\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 4: VSV's performance degradation (top) and total CPU power
+ * savings (bottom) for all SPEC2K benchmarks, with and without the
+ * FSMs, sorted by decreasing baseline MR. Also prints the paper's
+ * summary averages (all benchmarks, and the MR > 4 subset).
+ *
+ * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+struct Row
+{
+    std::string name;
+    double mr;
+    VsvComparison noFsm;
+    VsvComparison withFsm;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+    const std::uint64_t insts = config.getUInt("instructions", 400000);
+    const std::uint64_t warmup = config.getUInt("warmup", 300000);
+
+    std::vector<std::string> benchmarks;
+    {
+        const std::string raw = config.getString("benchmarks", "");
+        if (raw.empty()) {
+            benchmarks = spec2kBenchmarks();
+        } else {
+            std::stringstream ss(raw);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                benchmarks.push_back(item);
+        }
+    }
+
+    std::vector<Row> rows;
+    for (const auto &name : benchmarks) {
+        const SimulationOptions base = makeOptions(name, false, insts,
+                                                   warmup);
+        Simulator base_sim(base);
+        const SimulationResult base_result = base_sim.run();
+
+        auto run_vsv = [&](const VsvConfig &cfg) {
+            SimulationOptions opts = base;
+            opts.vsv = cfg;
+            Simulator sim(opts);
+            return makeComparison(base_result, sim.run());
+        };
+
+        Row row;
+        row.name = name;
+        row.mr = base_result.mr;
+        row.noFsm = run_vsv(noFsmVsvConfig());
+        row.withFsm = run_vsv(fsmVsvConfig());
+        rows.push_back(row);
+    }
+
+    // The paper plots benchmarks sorted by decreasing MR.
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row &a, const Row &b) { return a.mr > b.mr; });
+
+    std::cout << "Figure 4: VSV results with and without the FSMs\n";
+    std::cout << "(sorted by decreasing baseline MR; deg = performance "
+                 "degradation %, save = CPU power savings %)\n\n";
+
+    TextTable table({"bench", "MR", "deg noFSM", "deg FSM", "save noFSM",
+                     "save FSM"});
+    struct Avg
+    {
+        double degNo = 0, degFsm = 0, saveNo = 0, saveFsm = 0;
+        int n = 0;
+    } all, high;
+
+    for (const Row &row : rows) {
+        table.addRow({row.name,
+                      TextTable::num(row.mr, 1),
+                      TextTable::num(row.noFsm.perfDegradationPct, 1),
+                      TextTable::num(row.withFsm.perfDegradationPct, 1),
+                      TextTable::num(row.noFsm.powerSavingsPct, 1),
+                      TextTable::num(row.withFsm.powerSavingsPct, 1)});
+        auto add = [&](Avg &avg) {
+            avg.degNo += row.noFsm.perfDegradationPct;
+            avg.degFsm += row.withFsm.perfDegradationPct;
+            avg.saveNo += row.noFsm.powerSavingsPct;
+            avg.saveFsm += row.withFsm.powerSavingsPct;
+            ++avg.n;
+        };
+        add(all);
+        if (row.mr > 4.0)
+            add(high);
+    }
+    table.print(std::cout);
+
+    auto report = [](const char *label, const Avg &avg) {
+        if (avg.n == 0)
+            return;
+        std::cout << label << " (n=" << avg.n << "): "
+                  << "noFSM " << TextTable::num(avg.saveNo / avg.n, 1)
+                  << "% save / " << TextTable::num(avg.degNo / avg.n, 1)
+                  << "% deg;  FSM "
+                  << TextTable::num(avg.saveFsm / avg.n, 1) << "% save / "
+                  << TextTable::num(avg.degFsm / avg.n, 1) << "% deg\n";
+    };
+    std::cout << '\n';
+    report("MR>4 benchmarks", high);
+    report("all benchmarks ", all);
+    std::cout << "\npaper: MR>4 noFSM 33%/12%, FSM 21%/2%; "
+                 "all-benchmark FSM 7%/1%\n";
+    return 0;
+}

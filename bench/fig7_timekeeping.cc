@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Figure 7: impact of Time-Keeping prefetching on VSV. For every
+ * benchmark, VSV-with-FSMs degradation/savings without TK (white
+ * bars) and with TK in both the baseline and the VSV processor
+ * (black bars), sorted by decreasing baseline MR.
+ *
+ * Flags: --instructions=N --warmup=N --tk-warmup=N --benchmarks=a,b,c
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+struct Row
+{
+    std::string name;
+    double mrBase;
+    double mrTk;
+    VsvComparison noTk;
+    VsvComparison withTk;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+    const std::uint64_t insts = config.getUInt("instructions", 400000);
+    const std::uint64_t warmup = config.getUInt("warmup", 300000);
+    const std::uint64_t tk_warmup = config.getUInt("tk-warmup", 0);
+
+    std::vector<std::string> benchmarks;
+    {
+        const std::string raw = config.getString("benchmarks", "");
+        if (raw.empty()) {
+            benchmarks = spec2kBenchmarks();
+        } else {
+            std::stringstream ss(raw);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                benchmarks.push_back(item);
+        }
+    }
+
+    std::vector<Row> rows;
+    for (const auto &name : benchmarks) {
+        Row row;
+        row.name = name;
+
+        const SimulationOptions base = makeOptions(name, false, insts,
+                                                   warmup);
+        Simulator base_sim(base);
+        const SimulationResult base_result = base_sim.run();
+        row.mrBase = base_result.mr;
+        {
+            SimulationOptions opts = base;
+            opts.vsv = fsmVsvConfig();
+            Simulator sim(opts);
+            row.noTk = makeComparison(base_result, sim.run());
+        }
+
+        const SimulationOptions tk_base =
+            makeOptions(name, true, insts, tk_warmup);
+        Simulator tk_base_sim(tk_base);
+        const SimulationResult tk_base_result = tk_base_sim.run();
+        row.mrTk = tk_base_result.mr;
+        {
+            SimulationOptions opts = tk_base;
+            opts.vsv = fsmVsvConfig();
+            Simulator sim(opts);
+            row.withTk = makeComparison(tk_base_result, sim.run());
+        }
+        rows.push_back(row);
+    }
+
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row &a, const Row &b) {
+                         return a.mrBase > b.mrBase;
+                     });
+
+    std::cout << "Figure 7: Impact of Time-Keeping prefetching on VSV\n";
+    std::cout << "(deg = performance degradation %, save = power "
+                 "savings %; TK runs compare VSV+TK vs base+TK)\n\n";
+
+    TextTable table({"bench", "MR", "MR+TK", "deg noTK", "deg TK",
+                     "save noTK", "save TK"});
+    double high_save_no = 0, high_save_tk = 0, high_deg_tk = 0;
+    double all_save_tk = 0, all_deg_tk = 0;
+    int high_n = 0;
+    for (const Row &row : rows) {
+        table.addRow({row.name,
+                      TextTable::num(row.mrBase, 1),
+                      TextTable::num(row.mrTk, 1),
+                      TextTable::num(row.noTk.perfDegradationPct, 1),
+                      TextTable::num(row.withTk.perfDegradationPct, 1),
+                      TextTable::num(row.noTk.powerSavingsPct, 1),
+                      TextTable::num(row.withTk.powerSavingsPct, 1)});
+        all_save_tk += row.withTk.powerSavingsPct;
+        all_deg_tk += row.withTk.perfDegradationPct;
+        if (row.mrBase > 4.0) {
+            high_save_no += row.noTk.powerSavingsPct;
+            high_save_tk += row.withTk.powerSavingsPct;
+            high_deg_tk += row.withTk.perfDegradationPct;
+            ++high_n;
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << '\n';
+    if (high_n > 0) {
+        std::cout << "MR>4 average: save "
+                  << TextTable::num(high_save_no / high_n, 1)
+                  << "% without TK vs "
+                  << TextTable::num(high_save_tk / high_n, 1)
+                  << "% with TK (deg "
+                  << TextTable::num(high_deg_tk / high_n, 1) << "%)\n";
+    }
+    std::cout << "all-benchmark average with TK: save "
+              << TextTable::num(all_save_tk / rows.size(), 1) << "% / deg "
+              << TextTable::num(all_deg_tk / rows.size(), 1) << "%\n";
+    std::cout << "\npaper: MR>4 20.7% -> 12.1% save at ~2.1% deg; all "
+                 "benchmarks 4.1% save / 0.9% deg with TK\n";
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot components
+ * (simulation throughput, not modeled performance).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/predictor.hh"
+#include "cache/cache.hh"
+#include "common/eventq.hh"
+#include "common/random.hh"
+#include "harness/simulator.hh"
+#include "prefetch/timekeeping.hh"
+#include "workload/workload.hh"
+
+namespace vsv
+{
+namespace
+{
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    Cache cache(CacheConfig{"l1", 64 * 1024, 2, 32, 2});
+    cache.fill(0x1000, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(0x1000, false).hit);
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheFillEvictChurn(benchmark::State &state)
+{
+    Cache cache(CacheConfig{"l2", 2 * 1024 * 1024, 8, 64, 12});
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.fill(addr, false));
+        addr += 64;
+    }
+}
+BENCHMARK(BM_CacheFillEvictChurn);
+
+void
+BM_BranchPredictorRoundTrip(benchmark::State &state)
+{
+    BranchPredictor bp;
+    MicroOp op;
+    op.cls = OpClass::Branch;
+    op.brKind = BranchKind::Cond;
+    op.pc = 0x1000;
+    op.taken = true;
+    op.target = 0x2000;
+    for (auto _ : state) {
+        const BranchPrediction pred = bp.predict(op);
+        benchmark::DoNotOptimize(bp.resolve(op, pred));
+    }
+}
+BENCHMARK(BM_BranchPredictorRoundTrip);
+
+void
+BM_EventQueueScheduleService(benchmark::State &state)
+{
+    EventQueue q;
+    Tick now = 0;
+    for (auto _ : state) {
+        q.schedule(now + 10, [](Tick) {});
+        q.serviceUntil(now);
+        ++now;
+    }
+    q.serviceUntil(maxTick - 1);
+}
+BENCHMARK(BM_EventQueueScheduleService);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    WorkloadGenerator gen(spec2kProfile("mcf"));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next().addr);
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    // Whole-stack simulation speed in instructions/second.
+    for (auto _ : state) {
+        SimulationOptions options;
+        options.profile = spec2kProfile("gzip");
+        options.warmupInstructions = 5000;
+        options.measureInstructions =
+            static_cast<std::uint64_t>(state.range(0));
+        Simulator sim(options);
+        benchmark::DoNotOptimize(sim.run().ticks);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(20000)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_VsvSimulatorThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SimulationOptions options;
+        options.profile = spec2kProfile("mcf");
+        options.warmupInstructions = 5000;
+        options.measureInstructions =
+            static_cast<std::uint64_t>(state.range(0));
+        options.vsv.enabled = true;
+        Simulator sim(options);
+        benchmark::DoNotOptimize(sim.run().ticks);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VsvSimulatorThroughput)->Arg(20000)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+} // namespace vsv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Prefetcher comparison (extension of the paper's Section 6.4 stress
+ * test): how much of VSV's opportunity survives under (a) no hardware
+ * prefetching, (b) a conventional stream/stride prefetcher, and
+ * (c) Time-Keeping. For each engine: the residual demand miss rate
+ * and VSV-with-FSMs savings/degradation against the matching
+ * baseline.
+ *
+ * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+
+using namespace vsv;
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+    const std::uint64_t insts = config.getUInt("instructions", 200000);
+    const std::uint64_t warmup = config.getUInt("warmup", 0);
+
+    std::vector<std::string> benchmarks = {"mcf", "ammp", "applu",
+                                           "lucas", "swim"};
+    {
+        const std::string raw = config.getString("benchmarks", "");
+        if (!raw.empty()) {
+            benchmarks.clear();
+            std::stringstream ss(raw);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                benchmarks.push_back(item);
+        }
+    }
+
+    std::cout << "VSV opportunity under different hardware "
+                 "prefetchers\n";
+    std::cout << "(per engine: residual MR | VSV degradation % / "
+                 "savings %)\n\n";
+
+    TextTable table({"bench", "none", "stride", "timekeeping"});
+
+    for (const auto &bench : benchmarks) {
+        std::vector<std::string> row{bench};
+        for (int engine = 0; engine < 3; ++engine) {
+            SimulationOptions base =
+                makeOptions(bench, engine == 2, insts, warmup);
+            base.stridePrefetch = engine == 1;
+            if (engine == 1) {
+                // The stream prefetcher trains fast; the long TK
+                // warmup is unnecessary but harmless - reuse the
+                // profile's to keep cache state comparable.
+                base.warmupInstructions =
+                    base.profile.tkWarmupInstructions;
+            }
+            Simulator base_sim(base);
+            const SimulationResult base_result = base_sim.run();
+
+            SimulationOptions vsv = base;
+            vsv.vsv = fsmVsvConfig();
+            Simulator vsv_sim(vsv);
+            const VsvComparison cmp =
+                makeComparison(base_result, vsv_sim.run());
+
+            row.push_back(TextTable::num(base_result.mr, 1) + " | " +
+                          TextTable::num(cmp.perfDegradationPct, 1) +
+                          "/" + TextTable::num(cmp.powerSavingsPct, 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nreading guide: both prefetchers shrink the miss "
+                 "rate (and with it VSV's\nopportunity), but neither "
+                 "eliminates it - the paper's Section 6.4 argument,\n"
+                 "here extended to a conventional stream prefetcher.\n";
+    return 0;
+}

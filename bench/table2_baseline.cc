@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table 2: baseline IPC and L2 miss rate (demand misses per 1000
+ * instructions) for every SPEC2K benchmark, without and with
+ * Time-Keeping prefetching. Prints measured values next to the
+ * paper's targets.
+ *
+ * Flags: --instructions=N --warmup=N --tk-warmup=N
+ *        --benchmarks=a,b,c (default: all 26)
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+std::vector<std::string>
+parseBenchmarks(const Config &config)
+{
+    const std::string raw = config.getString("benchmarks", "");
+    if (raw.empty())
+        return spec2kBenchmarks();
+    std::vector<std::string> names;
+    std::stringstream ss(raw);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        names.push_back(item);
+    return names;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+    const std::uint64_t insts = config.getUInt("instructions", 400000);
+    const std::uint64_t warmup = config.getUInt("warmup", 300000);
+    // Time-Keeping's correlations need longer functional training.
+    const std::uint64_t tk_warmup = config.getUInt("tk-warmup", 0);
+    const auto benchmarks = parseBenchmarks(config);
+
+    std::cout << "Table 2: Baseline SPEC2K benchmark statistics\n";
+    std::cout << "(MR = demand L2 misses per 1000 instructions; paper "
+                 "targets in parentheses)\n\n";
+
+    TextTable table({"bench", "IPC", "(paper)", "MR base", "(paper)",
+                     "MR TK", "(paper)"});
+
+    double sum_ipc_err = 0.0;
+    int rows = 0;
+    for (const auto &name : benchmarks) {
+        SimulationOptions base = makeOptions(name, false, insts, warmup);
+        Simulator base_sim(base);
+        const SimulationResult base_result = base_sim.run();
+
+        SimulationOptions tk =
+            makeOptions(name, true, insts, tk_warmup);
+        Simulator tk_sim(tk);
+        const SimulationResult tk_result = tk_sim.run();
+
+        const WorkloadProfile &profile = base.profile;
+        table.addRow({name,
+                      TextTable::num(base_result.ipc),
+                      "(" + TextTable::num(profile.targetIpc) + ")",
+                      TextTable::num(base_result.mr, 1),
+                      "(" + TextTable::num(profile.targetMrBase, 1) + ")",
+                      TextTable::num(tk_result.mr, 1),
+                      "(" + TextTable::num(profile.targetMrTk, 1) + ")"});
+        sum_ipc_err +=
+            std::abs(base_result.ipc - profile.targetIpc) /
+            profile.targetIpc;
+        ++rows;
+    }
+    table.print(std::cout);
+    std::cout << "\nmean relative IPC error vs paper: "
+              << TextTable::num(100.0 * sum_ipc_err / rows, 1) << "%\n";
+    return 0;
+}

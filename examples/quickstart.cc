@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Quickstart: run one benchmark on the baseline processor and on the
+ * VSV processor, and print what VSV did.
+ *
+ *   ./quickstart [benchmark] [--instructions=N]
+ *
+ * Benchmarks are SPEC2K names (mcf, ammp, swim, ...); default: ammp.
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+
+using namespace vsv;
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    const auto positional = config.parseArgs(argc, argv);
+    const std::string bench = positional.empty() ? "ammp" : positional[0];
+    const std::uint64_t insts = config.getUInt("instructions", 300000);
+
+    std::cout << "VSV quickstart: benchmark '" << bench << "', "
+              << insts << " instructions\n\n";
+
+    // 1. Baseline: VSV disabled, everything at VDDH / full clock.
+    SimulationOptions options = makeOptions(bench, false, insts);
+    Simulator baseline(options);
+    const SimulationResult base = baseline.run();
+
+    std::cout << "baseline:  IPC " << TextTable::num(base.ipc)
+              << ", MR " << TextTable::num(base.mr, 1)
+              << " misses/kinst, avg power "
+              << TextTable::num(base.avgPowerW, 2) << " W\n";
+
+    // 2. VSV with the paper's FSM configuration (down 3/10, up 3/10).
+    options.vsv = fsmVsvConfig();
+    Simulator vsv_sim(options);
+    const SimulationResult vsv = vsv_sim.run();
+
+    std::cout << "with VSV:  IPC " << TextTable::num(vsv.ipc)
+              << ", avg power " << TextTable::num(vsv.avgPowerW, 2)
+              << " W, " << vsv.downTransitions
+              << " down / " << vsv.upTransitions << " up transitions, "
+              << TextTable::num(100.0 * vsv.lowModeFraction, 1)
+              << "% of time at low voltage\n\n";
+
+    const VsvComparison cmp = makeComparison(base, vsv);
+    std::cout << "=> power savings "
+              << TextTable::num(cmp.powerSavingsPct, 1)
+              << "%, performance degradation "
+              << TextTable::num(cmp.perfDegradationPct, 1) << "%\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Threshold explorer: sweeps the down-FSM and up-FSM thresholds for
+ * one benchmark and prints the power/performance trade-off surface -
+ * the experiment a user would run to pick FSM parameters for their
+ * own workload (the paper's Sections 6.2 and 6.3 condensed into one
+ * tool).
+ *
+ *   ./threshold_explorer [benchmark] [--instructions=N]
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+
+using namespace vsv;
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    const auto positional = config.parseArgs(argc, argv);
+    const std::string bench = positional.empty() ? "lucas" : positional[0];
+    const std::uint64_t insts = config.getUInt("instructions", 200000);
+
+    const SimulationOptions base = makeOptions(bench, false, insts);
+    Simulator base_sim(base);
+    const SimulationResult base_result = base_sim.run();
+
+    std::cout << "Threshold exploration for '" << bench << "' (baseline "
+              << "IPC " << TextTable::num(base_result.ipc) << ", MR "
+              << TextTable::num(base_result.mr, 1) << ")\n";
+    std::cout << "cells: performance degradation % / power savings %\n\n";
+
+    TextTable table({"down\\up", "1", "3", "5"});
+    for (const std::uint32_t down : {0u, 1u, 3u, 5u}) {
+        std::vector<std::string> cells{std::to_string(down)};
+        for (const std::uint32_t up : {1u, 3u, 5u}) {
+            VsvConfig vsv = fsmVsvConfig();
+            vsv.down = {down, 10};
+            vsv.up = {up, 10};
+            SimulationOptions opts = base;
+            opts.vsv = vsv;
+            Simulator sim(opts);
+            const VsvComparison cmp =
+                makeComparison(base_result, sim.run());
+            cells.push_back(TextTable::num(cmp.perfDegradationPct, 1) +
+                            "/" + TextTable::num(cmp.powerSavingsPct, 1));
+        }
+        table.addRow(cells);
+    }
+    table.print(std::cout);
+    std::cout << "\nLower-left favors power; upper-right favors "
+                 "performance. The paper picks down 3 / up 3.\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Trace tool: capture a synthetic benchmark's micro-op stream to a
+ * binary trace file, inspect a trace's summary, or run the simulator
+ * directly from a trace - the bring-your-own-workload path.
+ *
+ * Usage:
+ *   trace_tool record <benchmark> <file> [--ops=N]
+ *   trace_tool info <file>
+ *   trace_tool run <file> [--instructions=N] [--vsv] [--warmup=N]
+ */
+
+#include <iostream>
+#include <map>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+#include "workload/trace.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+int
+record(const std::string &bench, const std::string &path,
+       std::uint64_t ops)
+{
+    WorkloadGenerator gen(spec2kProfile(bench));
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < ops; ++i)
+        writer.append(gen.next());
+    writer.close();
+    std::cout << "wrote " << ops << " ops from '" << bench << "' to "
+              << path << '\n';
+    return 0;
+}
+
+int
+info(const std::string &path)
+{
+    TraceReader reader(path, /*loop=*/false);
+    std::cout << path << ": " << reader.records() << " records\n";
+
+    std::map<OpClass, std::uint64_t> mix;
+    std::uint64_t branches_taken = 0;
+    const std::uint64_t sample =
+        std::min<std::uint64_t>(reader.records(), 1000000);
+    for (std::uint64_t i = 0; i < sample; ++i) {
+        const MicroOp op = reader.next();
+        ++mix[op.cls];
+        if (op.cls == OpClass::Branch && op.taken)
+            ++branches_taken;
+    }
+    std::cout << "mix over the first " << sample << " ops:\n";
+    for (const auto &[cls, count] : mix) {
+        std::cout << "  " << opClassName(cls) << ": "
+                  << TextTable::num(100.0 * count / sample, 1) << "%\n";
+    }
+    if (mix.count(OpClass::Branch)) {
+        std::cout << "  (branches taken: "
+                  << TextTable::num(100.0 * branches_taken /
+                                        mix[OpClass::Branch],
+                                    1)
+                  << "%)\n";
+    }
+    return 0;
+}
+
+int
+run(const std::string &path, const Config &config)
+{
+    // Replay against a generic profile (the trace provides the ops;
+    // the profile only sets the pre-warm footprints).
+    SimulationOptions options;
+    options.profile = spec2kProfile("gzip");
+    options.profile.name = "trace:" + path;
+    options.tracePath = path;
+    options.measureInstructions = config.getUInt("instructions", 200000);
+    options.warmupInstructions = config.getUInt("warmup", 100000);
+    options.vsv = fsmVsvConfig();
+    options.vsv.enabled = config.getBool("vsv", false);
+
+    Simulator sim(options);
+    const SimulationResult r = sim.run();
+    std::cout << r.benchmark << ": IPC " << TextTable::num(r.ipc)
+              << ", MR " << TextTable::num(r.mr, 2) << ", avg power "
+              << TextTable::num(r.avgPowerW) << " W";
+    if (options.vsv.enabled) {
+        std::cout << ", " << r.downTransitions << " VSV transitions, "
+                  << TextTable::num(100.0 * r.lowModeFraction, 1)
+                  << "% low";
+    }
+    std::cout << '\n';
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    const auto positional = config.parseArgs(argc, argv);
+    if (positional.size() < 2) {
+        std::cerr << "usage: trace_tool record <bench> <file> [--ops=N]\n"
+                     "       trace_tool info <file>\n"
+                     "       trace_tool run <file> [--vsv] "
+                     "[--instructions=N]\n";
+        return 1;
+    }
+
+    const std::string &verb = positional[0];
+    if (verb == "record" && positional.size() == 3) {
+        return record(positional[1], positional[2],
+                      config.getUInt("ops", 500000));
+    }
+    if (verb == "info") {
+        return info(positional[1]);
+    }
+    if (verb == "run") {
+        return run(positional[1], config);
+    }
+    std::cerr << "unknown or malformed command\n";
+    return 1;
+}

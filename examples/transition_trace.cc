@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Transition trace: drives a VSV controller directly with a scripted
+ * L2-miss scenario and prints a tick-by-tick trace of the mode, the
+ * pipeline voltage and the clock edges - a textual rendering of the
+ * paper's Figure 2 (high-to-low) and Figure 3 (low-to-high)
+ * timelines.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "power/model.hh"
+#include "vsv/controller.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+void
+traceTicks(VsvController &ctrl, PowerModel &power, Tick &now, int count,
+           std::uint32_t issued)
+{
+    for (int i = 0; i < count; ++i) {
+        const bool edge = ctrl.beginTick(now);
+        if (edge)
+            ctrl.observeIssueRate(issued);
+        std::cout << std::setw(5) << now << "  "
+                  << std::setw(14) << vsvStateName(ctrl.state()) << "  "
+                  << std::fixed << std::setprecision(3)
+                  << power.pipelineVdd() << " V  "
+                  << (edge ? "edge" : "    ")
+                  << (edge ? ("  issue=" + std::to_string(issued)) : "")
+                  << '\n';
+        ++now;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    VsvConfig config;
+    config.enabled = true;
+    config.down = {3, 10};
+    config.up = {3, 10};
+
+    PowerModel power;
+    VsvController ctrl(config, power);
+    Tick now = 0;
+
+    std::cout << "tick   state           VDD     clock\n";
+    std::cout << "-------------------------------------\n";
+
+    std::cout << "\n-- steady high-power mode --\n";
+    traceTicks(ctrl, power, now, 3, 6);
+
+    std::cout << "\n-- demand L2 miss detected; issue rate collapses --\n";
+    ctrl.demandL2MissDetected(now);
+    traceTicks(ctrl, power, now, 4, 0);  // down-FSM counts 3 zero cycles
+
+    std::cout << "\n-- Figure 2: clock distribution, then VDD ramp --\n";
+    traceTicks(ctrl, power, now, 17, 0);
+
+    std::cout << "\n-- low-power mode (half clock) --\n";
+    traceTicks(ctrl, power, now, 6, 0);
+
+    std::cout << "\n-- the miss returns (last outstanding) --\n";
+    ctrl.demandL2MissReturned(now, 0);
+
+    std::cout << "\n-- Figure 3: control distribution, VDD ramp, "
+                 "full speed --\n";
+    traceTicks(ctrl, power, now, 16, 4);
+
+    std::cout << "\n-- back in the high-power mode --\n";
+    traceTicks(ctrl, power, now, 3, 6);
+
+    std::cout << "\ntransitions: " << ctrl.downTransitions() << " down, "
+              << ctrl.upTransitions() << " up; ramp energy "
+              << power.rampEnergyPj() / 1000.0 << " nJ\n";
+    return 0;
+}

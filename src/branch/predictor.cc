@@ -1,0 +1,227 @@
+#include "predictor.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
+    : config(config),
+      bimodal(config.bimodalEntries, 1),
+      gshare(config.gshareEntries, 1),
+      chooser(config.chooserEntries, 1),
+      historyMask((1u << config.historyBits) - 1),
+      btb(config.btbEntries),
+      ras(config.rasEntries, 0)
+{
+    VSV_ASSERT(isPowerOf2(config.bimodalEntries), "bimodal size not pow2");
+    VSV_ASSERT(isPowerOf2(config.gshareEntries), "gshare size not pow2");
+    VSV_ASSERT(isPowerOf2(config.chooserEntries), "chooser size not pow2");
+    VSV_ASSERT(isPowerOf2(config.btbEntries), "BTB size not pow2");
+    VSV_ASSERT(config.btbEntries % config.btbAssoc == 0,
+               "BTB entries not divisible by associativity");
+    VSV_ASSERT(config.rasEntries > 0, "RAS must have at least one entry");
+}
+
+std::uint32_t
+BranchPredictor::bimodalIndex(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc >> 2) &
+           (config.bimodalEntries - 1);
+}
+
+std::uint32_t
+BranchPredictor::gshareIndex(Addr pc) const
+{
+    return (static_cast<std::uint32_t>(pc >> 2) ^ globalHistory) &
+           (config.gshareEntries - 1);
+}
+
+std::uint32_t
+BranchPredictor::chooserIndex(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc >> 2) &
+           (config.chooserEntries - 1);
+}
+
+void
+BranchPredictor::bump(std::uint8_t &c, bool up)
+{
+    if (up) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+BranchPredictor::BtbEntry *
+BranchPredictor::btbLookup(Addr pc)
+{
+    const std::uint32_t num_sets = config.btbEntries / config.btbAssoc;
+    const std::uint32_t set = static_cast<std::uint32_t>(pc >> 2) &
+                              (num_sets - 1);
+    BtbEntry *base = &btb[static_cast<std::size_t>(set) * config.btbAssoc];
+    for (std::uint32_t way = 0; way < config.btbAssoc; ++way) {
+        if (base[way].tag == pc) {
+            base[way].lruStamp = ++btbStamp;
+            return &base[way];
+        }
+    }
+    return nullptr;
+}
+
+void
+BranchPredictor::btbInsert(Addr pc, Addr target)
+{
+    const std::uint32_t num_sets = config.btbEntries / config.btbAssoc;
+    const std::uint32_t set = static_cast<std::uint32_t>(pc >> 2) &
+                              (num_sets - 1);
+    BtbEntry *base = &btb[static_cast<std::size_t>(set) * config.btbAssoc];
+    BtbEntry *victim = &base[0];
+    for (std::uint32_t way = 0; way < config.btbAssoc; ++way) {
+        if (base[way].tag == pc || base[way].tag == invalidAddr) {
+            victim = &base[way];
+            break;
+        }
+        if (base[way].lruStamp < victim->lruStamp)
+            victim = &base[way];
+    }
+    victim->tag = pc;
+    victim->target = target;
+    victim->lruStamp = ++btbStamp;
+}
+
+BranchPrediction
+BranchPredictor::predict(const MicroOp &op)
+{
+    VSV_ASSERT(op.cls == OpClass::Branch, "predict() on non-branch");
+    ++lookups_;
+
+    BranchPrediction pred;
+    pred.historyBefore = globalHistory;
+
+    // Direction.
+    if (op.brKind == BranchKind::Cond) {
+        const bool bimodal_taken = counterTaken(bimodal[bimodalIndex(op.pc)]);
+        const bool gshare_taken = counterTaken(gshare[gshareIndex(op.pc)]);
+        pred.usedGshare = counterTaken(chooser[chooserIndex(op.pc)]);
+        pred.predTaken = pred.usedGshare ? gshare_taken : bimodal_taken;
+        // Speculative history update with the predicted outcome.
+        globalHistory = ((globalHistory << 1) |
+                         (pred.predTaken ? 1u : 0u)) & historyMask;
+    } else {
+        pred.predTaken = true;
+    }
+
+    // Target.
+    if (op.brKind == BranchKind::Return) {
+        // Pop the RAS.
+        rasTop = (rasTop + config.rasEntries - 1) % config.rasEntries;
+        pred.predTarget = ras[rasTop];
+        pred.btbHit = pred.predTarget != 0;
+        ++rasPops;
+    } else if (pred.predTaken) {
+        if (BtbEntry *entry = btbLookup(op.pc)) {
+            pred.predTarget = entry->target;
+            pred.btbHit = true;
+            ++btbHits;
+        }
+    }
+
+    // Calls push the fall-through address.
+    if (op.brKind == BranchKind::Call) {
+        ras[rasTop] = op.pc + 4;
+        rasTop = (rasTop + 1) % config.rasEntries;
+        ++rasPushes;
+    }
+
+    return pred;
+}
+
+bool
+BranchPredictor::wouldMispredict(const MicroOp &op,
+                                 const BranchPrediction &pred)
+{
+    if (op.brKind == BranchKind::Cond && pred.predTaken != op.taken)
+        return true;
+    if (op.taken && pred.predTaken &&
+        (!pred.btbHit || pred.predTarget != op.target)) {
+        return true;
+    }
+    return false;
+}
+
+bool
+BranchPredictor::resolve(const MicroOp &op, const BranchPrediction &pred)
+{
+    VSV_ASSERT(op.cls == OpClass::Branch, "resolve() on non-branch");
+
+    bool mispredicted = false;
+
+    if (op.brKind == BranchKind::Cond) {
+        const bool dir_wrong = pred.predTaken != op.taken;
+        if (dir_wrong) {
+            mispredicted = true;
+            ++directionMisses;
+            // Repair global history: rebuild as if the correct outcome
+            // had been shifted in at prediction time.
+            globalHistory = ((pred.historyBefore << 1) |
+                             (op.taken ? 1u : 0u)) & historyMask;
+        }
+
+        // Train direction tables. The gshare counter is trained with
+        // the history in effect at prediction time.
+        const std::uint32_t gidx =
+            (static_cast<std::uint32_t>(op.pc >> 2) ^ pred.historyBefore) &
+            (config.gshareEntries - 1);
+        const bool bimodal_was_right =
+            counterTaken(bimodal[bimodalIndex(op.pc)]) == op.taken;
+        const bool gshare_was_right =
+            counterTaken(gshare[gidx]) == op.taken;
+        bump(bimodal[bimodalIndex(op.pc)], op.taken);
+        bump(gshare[gidx], op.taken);
+        if (bimodal_was_right != gshare_was_right)
+            bump(chooser[chooserIndex(op.pc)], gshare_was_right);
+    }
+
+    // Target check: any taken transfer with a wrong/missing target is
+    // a misprediction even if the direction was right.
+    if (op.taken && pred.predTaken &&
+        (!pred.btbHit || pred.predTarget != op.target)) {
+        mispredicted = true;
+        ++targetMisses;
+    }
+
+    // Train the BTB on all taken control transfers except returns.
+    if (op.taken && op.brKind != BranchKind::Return)
+        btbInsert(op.pc, op.target);
+
+    if (mispredicted)
+        ++mispredicts_;
+    return mispredicted;
+}
+
+void
+BranchPredictor::regStats(StatRegistry &registry,
+                          const std::string &prefix) const
+{
+    registry.registerScalar(prefix + ".lookups", &lookups_,
+                            "branch predictor lookups");
+    registry.registerScalar(prefix + ".mispredicts", &mispredicts_,
+                            "total mispredictions");
+    registry.registerScalar(prefix + ".dirMisses", &directionMisses,
+                            "direction mispredictions");
+    registry.registerScalar(prefix + ".targetMisses", &targetMisses,
+                            "target mispredictions");
+    registry.registerScalar(prefix + ".btbHits", &btbHits,
+                            "BTB hits on taken-predicted branches");
+    registry.registerScalar(prefix + ".rasPushes", &rasPushes,
+                            "return address stack pushes");
+    registry.registerScalar(prefix + ".rasPops", &rasPops,
+                            "return address stack pops");
+}
+
+} // namespace vsv

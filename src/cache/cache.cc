@@ -1,0 +1,140 @@
+#include "cache.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    VSV_ASSERT(config.blockBytes > 0 && isPowerOf2(config.blockBytes),
+               config.name + ": block size must be a power of two");
+    VSV_ASSERT(config.assoc > 0, config.name + ": zero associativity");
+    VSV_ASSERT(config.sizeBytes % (config.blockBytes * config.assoc) == 0,
+               config.name + ": size not divisible by assoc*block");
+    numSets_ = static_cast<std::uint32_t>(
+        config.sizeBytes / (config.blockBytes * config.assoc));
+    VSV_ASSERT(isPowerOf2(numSets_),
+               config.name + ": set count must be a power of two");
+    blockMask = config.blockBytes - 1;
+    lines.resize(static_cast<std::size_t>(numSets_) * config.assoc);
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>(
+        (addr / config_.blockBytes) & (numSets_ - 1));
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const Addr tag = blockAlign(addr);
+    Line *base = &lines[static_cast<std::size_t>(setIndex(addr)) *
+                        config_.assoc];
+    for (std::uint32_t way = 0; way < config_.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    Line *line = findLine(addr);
+    if (line) {
+        line->lruStamp = ++stamp;
+        if (is_write && !line->dirty) {
+            line->dirty = true;
+            ++writebackSets;
+        } else if (is_write) {
+            line->dirty = true;
+        }
+        ++hits_;
+        return {true};
+    }
+    ++misses_;
+    return {false};
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+CacheVictim
+Cache::fill(Addr addr, bool dirty)
+{
+    const Addr tag = blockAlign(addr);
+    Line *base = &lines[static_cast<std::size_t>(setIndex(addr)) *
+                        config_.assoc];
+
+    // Refill of a resident block (e.g. racing fills) just refreshes it.
+    if (Line *line = findLine(addr)) {
+        line->lruStamp = ++stamp;
+        line->dirty = line->dirty || dirty;
+        return {};
+    }
+
+    Line *victim = &base[0];
+    for (std::uint32_t way = 0; way < config_.assoc; ++way) {
+        if (!base[way].valid) {
+            victim = &base[way];
+            break;
+        }
+        if (base[way].lruStamp < victim->lruStamp)
+            victim = &base[way];
+    }
+
+    CacheVictim evicted;
+    if (victim->valid) {
+        evicted.valid = true;
+        evicted.blockAddr = victim->tag;
+        evicted.dirty = victim->dirty;
+        ++evictions;
+        if (victim->dirty)
+            ++dirtyEvictions;
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = dirty;
+    victim->lruStamp = ++stamp;
+    return evicted;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->valid = false;
+        line->dirty = false;
+        line->tag = invalidAddr;
+    }
+}
+
+void
+Cache::regStats(StatRegistry &registry, const std::string &prefix) const
+{
+    registry.registerScalar(prefix + ".hits", &hits_,
+                            "lookups that hit");
+    registry.registerScalar(prefix + ".misses", &misses_,
+                            "lookups that missed");
+    registry.registerScalar(prefix + ".evictions", &evictions,
+                            "blocks evicted by fills");
+    registry.registerScalar(prefix + ".dirtyEvictions", &dirtyEvictions,
+                            "dirty blocks evicted (writebacks)");
+}
+
+} // namespace vsv

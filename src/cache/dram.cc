@@ -1,0 +1,25 @@
+#include "dram.hh"
+
+namespace vsv
+{
+
+Dram::Dram(const DramConfig &config)
+    : config(config)
+{
+}
+
+Tick
+Dram::access(Tick start)
+{
+    ++accesses;
+    return start + config.latency;
+}
+
+void
+Dram::regStats(StatRegistry &registry, const std::string &prefix) const
+{
+    registry.registerScalar(prefix + ".accesses", &accesses,
+                            "main-memory accesses");
+}
+
+} // namespace vsv

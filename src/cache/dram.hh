@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Infinite-capacity main memory with a fixed access latency
+ * (100 ticks per Table 1). Banking and refresh are not modeled; the
+ * paper's memory model is the same fixed-latency abstraction.
+ */
+
+#ifndef VSV_CACHE_DRAM_HH
+#define VSV_CACHE_DRAM_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace vsv
+{
+
+/** Main-memory timing parameters. */
+struct DramConfig
+{
+    std::uint32_t latency = 100;  ///< ticks from request to data ready
+};
+
+/** Fixed-latency main memory. */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config = {});
+
+    /**
+     * Perform an access whose request arrives at `start`.
+     * @return tick at which the data is available at the memory pins
+     */
+    Tick access(Tick start);
+
+    void regStats(StatRegistry &registry, const std::string &prefix) const;
+
+  private:
+    DramConfig config;
+    Scalar accesses;
+};
+
+} // namespace vsv
+
+#endif // VSV_CACHE_DRAM_HH

@@ -1,0 +1,87 @@
+#include "mshr.hh"
+
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+MshrFile::MshrFile(std::string name, std::uint32_t entries)
+    : name(std::move(name)), capacity(entries), entries(entries)
+{
+    VSV_ASSERT(entries > 0, this->name + ": zero MSHR entries");
+}
+
+MshrEntry *
+MshrFile::find(Addr block_addr)
+{
+    for (auto &entry : entries) {
+        if (entry.valid && entry.blockAddr == block_addr)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const MshrEntry *
+MshrFile::find(Addr block_addr) const
+{
+    return const_cast<MshrFile *>(this)->find(block_addr);
+}
+
+MshrEntry *
+MshrFile::allocate(Addr block_addr, Tick now)
+{
+    VSV_ASSERT(find(block_addr) == nullptr,
+               name + ": duplicate MSHR allocation");
+    if (full())
+        return nullptr;
+    for (auto &entry : entries) {
+        if (!entry.valid) {
+            entry.valid = true;
+            entry.blockAddr = block_addr;
+            entry.isWrite = false;
+            entry.demand = false;
+            entry.allocated = now;
+            entry.targets.clear();
+            ++used;
+            ++allocations;
+            return &entry;
+        }
+    }
+    panic(name + ": inconsistent MSHR occupancy accounting");
+}
+
+MshrEntry
+MshrFile::release(Addr block_addr)
+{
+    MshrEntry *entry = find(block_addr);
+    VSV_ASSERT(entry != nullptr, name + ": release of untracked block");
+    MshrEntry released = std::move(*entry);
+    entry->valid = false;
+    entry->targets.clear();
+    --used;
+    return released;
+}
+
+std::uint32_t
+MshrFile::demandOutstanding() const
+{
+    std::uint32_t n = 0;
+    for (const auto &entry : entries) {
+        if (entry.valid && entry.demand)
+            ++n;
+    }
+    return n;
+}
+
+void
+MshrFile::regStats(StatRegistry &registry, const std::string &prefix) const
+{
+    registry.registerScalar(prefix + ".allocations", &allocations,
+                            "MSHR entries allocated");
+    registry.registerScalar(prefix + ".merges", &merges,
+                            "misses merged into an existing entry");
+    registry.registerScalar(prefix + ".fullStalls", &fullStalls,
+                            "allocation attempts rejected (file full)");
+}
+
+} // namespace vsv

@@ -1,0 +1,122 @@
+#include "config.hh"
+
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace vsv
+{
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values.count(key) != 0;
+}
+
+const std::string *
+Config::find(const std::string &key) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return nullptr;
+    consumed.insert(key);
+    return &it->second;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    const std::string *v = find(key);
+    return v ? *v : fallback;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t fallback) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return fallback;
+    char *end = nullptr;
+    const std::int64_t result = std::strtoll(v->c_str(), &end, 0);
+    if (end == v->c_str() || *end != '\0')
+        fatal("config key '" + key + "': '" + *v + "' is not an integer");
+    return result;
+}
+
+std::uint64_t
+Config::getUInt(const std::string &key, std::uint64_t fallback) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return fallback;
+    char *end = nullptr;
+    const std::uint64_t result = std::strtoull(v->c_str(), &end, 0);
+    if (end == v->c_str() || *end != '\0')
+        fatal("config key '" + key + "': '" + *v + "' is not an integer");
+    return result;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return fallback;
+    char *end = nullptr;
+    const double result = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0')
+        fatal("config key '" + key + "': '" + *v + "' is not a number");
+    return result;
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return fallback;
+    if (*v == "true" || *v == "1" || *v == "yes" || *v == "on")
+        return true;
+    if (*v == "false" || *v == "0" || *v == "no" || *v == "off")
+        return false;
+    fatal("config key '" + key + "': '" + *v + "' is not a boolean");
+}
+
+std::vector<std::string>
+Config::parseArgs(int argc, const char *const *argv)
+{
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq == std::string::npos) {
+                set(arg.substr(2), "true");
+            } else {
+                set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+            }
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    return positional;
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> unused;
+    for (const auto &[key, value] : values) {
+        if (!consumed.count(key))
+            unused.push_back(key);
+    }
+    return unused;
+}
+
+} // namespace vsv

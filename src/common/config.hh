@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal typed key-value configuration store.
+ *
+ * Experiment binaries parse "--key=value" command-line arguments into a
+ * Config; modules read typed values with defaults. Unknown keys are
+ * detected at the end of a run via unusedKeys() so typos in sweeps fail
+ * loudly instead of silently running the default configuration.
+ */
+
+#ifndef VSV_COMMON_CONFIG_HH
+#define VSV_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsv
+{
+
+/** String-keyed configuration with typed accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** True iff the key was set. */
+    bool has(const std::string &key) const;
+
+    /** Typed getters; return fallback when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    std::int64_t getInt(const std::string &key, std::int64_t fallback) const;
+    std::uint64_t getUInt(const std::string &key,
+                          std::uint64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /**
+     * Parse argv-style "--key=value" / "--flag" arguments.
+     * @return the positional (non --) arguments, in order.
+     */
+    std::vector<std::string> parseArgs(int argc, const char *const *argv);
+
+    /** Keys that were set but never read (sweep-typo detection). */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    const std::string *find(const std::string &key) const;
+
+    std::map<std::string, std::string> values;
+    mutable std::set<std::string> consumed;
+};
+
+} // namespace vsv
+
+#endif // VSV_COMMON_CONFIG_HH

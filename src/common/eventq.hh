@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tick-ordered event queue.
+ *
+ * The memory system (L2, bus, DRAM, prefetch fills) is event-driven on
+ * the full-speed tick timebase while the pipeline is polled cycle by
+ * cycle; this queue carries the memory-side events. Events scheduled
+ * for the same tick fire in scheduling order (FIFO), which keeps runs
+ * deterministic.
+ */
+
+#ifndef VSV_COMMON_EVENTQ_HH
+#define VSV_COMMON_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace vsv
+{
+
+/** Deterministic tick-ordered callback queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    /** Schedule cb to run at tick when (>= the last serviced tick). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        heap.push(Event{when, nextSeq++, std::move(cb)});
+    }
+
+    /** Earliest scheduled tick, or maxTick when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return heap.empty() ? maxTick : heap.top().when;
+    }
+
+    bool empty() const { return heap.empty(); }
+    std::size_t size() const { return heap.size(); }
+
+    /**
+     * Run every event scheduled at or before now. Events may schedule
+     * further events, including for the current tick.
+     */
+    void
+    serviceUntil(Tick now)
+    {
+        while (!heap.empty() && heap.top().when <= now) {
+            // Copy out before pop so the callback can schedule freely.
+            Event ev = heap.top();
+            heap.pop();
+            ev.cb(ev.when);
+        }
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace vsv
+
+#endif // VSV_COMMON_EVENTQ_HH

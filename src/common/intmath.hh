@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small integer math helpers used throughout the cache and power code.
+ */
+
+#ifndef VSV_COMMON_INTMATH_HH
+#define VSV_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+namespace vsv
+{
+
+/** True iff n is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** floor(log2(n)); n must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned result = 0;
+    while (n >>= 1)
+        ++result;
+    return result;
+}
+
+/** ceil(log2(n)); n must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return isPowerOf2(n) ? floorLog2(n) : floorLog2(n) + 1;
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round x up to the next multiple of align (align must be pow2). */
+constexpr std::uint64_t
+roundUp(std::uint64_t x, std::uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Round x down to a multiple of align (align must be pow2). */
+constexpr std::uint64_t
+roundDown(std::uint64_t x, std::uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+} // namespace vsv
+
+#endif // VSV_COMMON_INTMATH_HH

@@ -1,0 +1,40 @@
+#include "logging.hh"
+
+#include <iostream>
+
+namespace vsv
+{
+
+void
+logMessage(std::string_view tag, const std::string &msg)
+{
+    std::cerr << tag << ": " << msg << std::endl;
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage("panic", msg);
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage("fatal", msg);
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage("warn", msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage("info", msg);
+}
+
+} // namespace vsv

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload synthesis.
+ *
+ * A fixed, seedable generator (xoshiro256**) keeps every simulation
+ * bit-reproducible across platforms and standard-library versions;
+ * std::mt19937 distributions are not portable across libstdc++/libc++,
+ * so all distribution shaping is done here by hand.
+ */
+
+#ifndef VSV_COMMON_RANDOM_HH
+#define VSV_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace vsv
+{
+
+/** Portable deterministic RNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so nearby seeds give uncorrelated streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p);
+
+    /**
+     * Geometric draw: number of failures before the first success with
+     * success probability p (p in (0,1]); returns values >= 0.
+     */
+    std::uint64_t nextGeometric(double p);
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace vsv
+
+#endif // VSV_COMMON_RANDOM_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ *
+ * The global simulation timebase is the *full-speed clock cycle*: the
+ * modeled processor runs at 1 GHz at VDDH, so one tick equals one
+ * nanosecond. Components that are half-clocked in the low-power mode
+ * (the pipeline, L1 caches and register file) simply skip every other
+ * tick; the L2 cache, memory bus and DRAM always advance per tick.
+ */
+
+#ifndef VSV_COMMON_TYPES_HH
+#define VSV_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace vsv
+{
+
+/** Simulation time in full-speed clock cycles (1 ns at 1 GHz). */
+using Tick = std::uint64_t;
+
+/** A count of pipeline cycles (full- or half-speed, per context). */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Monotonic per-instruction sequence number (1-based; 0 = invalid). */
+using InstSeqNum = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for "no instruction". */
+inline constexpr InstSeqNum invalidSeqNum = 0;
+
+/** Sentinel for "no address". */
+inline constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+} // namespace vsv
+
+#endif // VSV_COMMON_TYPES_HH

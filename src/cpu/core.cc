@@ -1,0 +1,448 @@
+#include "core.hh"
+
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+namespace
+{
+
+/** Map an op class onto the power structure of its execution unit. */
+PowerStructure
+unitPowerStructure(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return PowerStructure::IntMulDiv;
+      case OpClass::FpAlu:
+        return PowerStructure::FpAlu;
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return PowerStructure::FpMulDiv;
+      default:
+        // Integer ops, branches and memory address generation all use
+        // the integer ALUs.
+        return PowerStructure::IntAlu;
+    }
+}
+
+} // namespace
+
+Core::Core(const CoreConfig &config, TraceSource &workload,
+           MemoryHierarchy &memory, BranchPredictor &predictor,
+           PowerModel &power)
+    : config(config),
+      workload(workload),
+      memory(memory),
+      predictor(predictor),
+      power(power),
+      ruu(config.ruuSize),
+      lsq(config.lsqSize)
+{
+    VSV_ASSERT(config.ruuSize > 0 && config.lsqSize > 0,
+               "window sizes must be nonzero");
+    unitFreeAt.resize(numFuPools);
+    for (std::size_t pool = 0; pool < numFuPools; ++pool) {
+        unitFreeAt[pool].assign(
+            config.fuPools.count[pool], 0);
+    }
+}
+
+Core::RuuEntry &
+Core::slot(InstSeqNum seq)
+{
+    return ruu[seq % config.ruuSize];
+}
+
+bool
+Core::producerReady(InstSeqNum producer) const
+{
+    if (producer == invalidSeqNum || producer < headSeq)
+        return true;  // no producer, or already committed
+    const RuuEntry &entry = ruu[producer % config.ruuSize];
+    // The producer is in flight: readiness is its completion.
+    return entry.seq == producer && entry.status == EntryStatus::Completed;
+}
+
+bool
+Core::operandsReady(const RuuEntry &entry) const
+{
+    return producerReady(entry.src1) && producerReady(entry.src2);
+}
+
+bool
+Core::storeForwards(const RuuEntry &entry) const
+{
+    const LsqEntry &self = lsq[entry.lsqSlot];
+    std::uint32_t idx = entry.lsqSlot;
+    while (idx != lsqHead) {
+        idx = (idx + config.lsqSize - 1) % config.lsqSize;
+        const LsqEntry &other = lsq[idx];
+        if (other.seq == invalidSeqNum || other.seq >= entry.seq)
+            continue;
+        if (other.isStore && other.addrReady &&
+            other.wordAddr == self.wordAddr) {
+            return true;
+        }
+        // Stores with unresolved addresses are optimistically assumed
+        // not to alias (perfect disambiguation).
+    }
+    return false;
+}
+
+bool
+Core::acquireUnit(OpClass cls)
+{
+    const OpTiming timing = opTiming(cls);
+    auto &units = unitFreeAt[static_cast<std::size_t>(timing.pool)];
+    for (Cycle &free_at : units) {
+        if (free_at <= cycleNum) {
+            free_at = cycleNum + (timing.pipelined ? 1 : timing.latency);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Core::startMemoryAccess(RuuEntry &entry, Tick now)
+{
+    const bool is_store = entry.op.cls == OpClass::Store;
+    const bool is_prefetch = entry.op.cls == OpClass::Prefetch;
+    const OpTiming timing = opTiming(entry.op.cls);
+
+    if (is_store) {
+        // Store issue = address generation; the write happens at
+        // commit through the write buffer.
+        lsq[entry.lsqSlot].addrReady = true;
+        entry.completeCycle = cycleNum + timing.latency;
+        return true;
+    }
+
+    power.recordAccess(PowerStructure::LsqCam);
+    if (!is_prefetch && storeForwards(entry)) {
+        ++storeForwardCount;
+        entry.completeCycle = cycleNum + timing.latency;
+        return true;
+    }
+
+    if (dcachePortsUsed >= config.dcachePorts)
+        return false;
+    ++dcachePortsUsed;
+
+    if (is_prefetch) {
+        // Non-binding: complete regardless of the memory outcome; a
+        // rejected prefetch is simply dropped.
+        memory.dataAccess(entry.op.addr, false, true, now, {});
+        entry.completeCycle = cycleNum + timing.latency;
+        ++swPrefetchesExecuted;
+        return true;
+    }
+
+    const InstSeqNum seq = entry.seq;
+    const MemAccessOutcome outcome = memory.dataAccess(
+        entry.op.addr, false, false, now, [this, seq](Tick) {
+            RuuEntry &load = slot(seq);
+            VSV_ASSERT(load.seq == seq && load.memPending,
+                       "memory response for a stale load");
+            load.memPending = false;
+            load.status = EntryStatus::Completed;
+            power.recordAccess(PowerStructure::ResultBus);
+            power.recordAccess(PowerStructure::RuuCam);
+            power.recordAccess(PowerStructure::RegFile);
+        });
+
+    if (!outcome.accepted) {
+        ++memRetries;
+        return false;
+    }
+    ++loadsExecuted;
+    if (outcome.immediate) {
+        entry.completeCycle = cycleNum + timing.latency +
+                              outcome.latencyCycles;
+    } else {
+        entry.memPending = true;
+        entry.completeCycle = 0;
+    }
+    return true;
+}
+
+void
+Core::commitStage(Tick now)
+{
+    for (std::uint32_t n = 0; n < config.commitWidth; ++n) {
+        if (headSeq >= tailSeq)
+            return;
+        RuuEntry &entry = slot(headSeq);
+        VSV_ASSERT(entry.seq == headSeq, "RUU head slot mismatch");
+        if (entry.status != EntryStatus::Completed)
+            return;
+
+        if (entry.op.cls == OpClass::Store) {
+            if (dcachePortsUsed >= config.dcachePorts)
+                return;
+            const MemAccessOutcome outcome = memory.dataAccess(
+                entry.op.addr, true, false, now, {});
+            if (!outcome.accepted) {
+                ++memRetries;
+                return;  // write buffer full; retry next cycle
+            }
+            ++dcachePortsUsed;
+            ++storesExecuted;
+        }
+
+        if (isMemOp(entry.op.cls)) {
+            VSV_ASSERT(lsq[lsqHead].seq == entry.seq,
+                       "LSQ head out of order with RUU head");
+            lsq[lsqHead].seq = invalidSeqNum;
+            lsqHead = (lsqHead + 1) % config.lsqSize;
+            --lsqOccupancy;
+        }
+
+        power.recordAccess(PowerStructure::RuuRam);
+        power.recordAccess(PowerStructure::PipelineLatches);
+        entry.status = EntryStatus::Empty;
+        ++committed;
+        ++headSeq;
+        --ruuOccupancy;
+    }
+}
+
+void
+Core::completeStage(Tick now)
+{
+    (void)now;
+    for (InstSeqNum seq = headSeq; seq < tailSeq; ++seq) {
+        RuuEntry &entry = slot(seq);
+        if (entry.status != EntryStatus::Issued || entry.memPending ||
+            entry.completeCycle > cycleNum) {
+            continue;
+        }
+        entry.status = EntryStatus::Completed;
+        power.recordAccess(PowerStructure::ResultBus);
+        power.recordAccess(PowerStructure::RuuCam);  // wakeup broadcast
+        power.recordAccess(PowerStructure::RegFile); // result write
+        power.recordAccess(PowerStructure::LevelConverters);
+
+        if (entry.op.cls == OpClass::Branch) {
+            power.recordAccess(PowerStructure::BranchPred);
+            const bool mispredicted =
+                predictor.resolve(entry.op, entry.pred);
+            ++branchesResolved;
+            if (entry.seq == blockingBranch) {
+                VSV_ASSERT(mispredicted == entry.fetchMispredicted,
+                           "fetch/resolve misprediction disagreement");
+                fetchResumeCycle = cycleNum + config.mispredictPenalty;
+                blockingBranch = invalidSeqNum;
+                ++mispredictRecoveries;
+            }
+        }
+    }
+}
+
+std::uint32_t
+Core::issueStage(Tick now)
+{
+    std::uint32_t issued = 0;
+    for (InstSeqNum seq = headSeq; seq < tailSeq; ++seq) {
+        if (issued >= config.issueWidth)
+            break;
+        RuuEntry &entry = slot(seq);
+        if (entry.status != EntryStatus::Dispatched)
+            continue;
+        if (!operandsReady(entry))
+            continue;
+        if (!acquireUnit(entry.op.cls))
+            continue;
+
+        if (isMemOp(entry.op.cls)) {
+            if (!startMemoryAccess(entry, now))
+                continue;  // ports exhausted or MSHR full: retry
+        } else {
+            entry.completeCycle = cycleNum + opTiming(entry.op.cls).latency;
+        }
+
+        entry.status = EntryStatus::Issued;
+        ++issued;
+
+        power.recordAccess(unitPowerStructure(entry.op.cls));
+        power.recordAccess(PowerStructure::RuuCam);  // select/payload
+        power.recordAccess(PowerStructure::RegFile, 2);  // operand reads
+        power.recordAccess(PowerStructure::LevelConverters, 2);
+        power.recordAccess(PowerStructure::PipelineLatches);
+    }
+
+    issuedTotal += static_cast<double>(issued);
+    issueRateDist.sample(issued);
+    if (issued == 0)
+        ++zeroIssueCycles;
+    return issued;
+}
+
+void
+Core::dispatchStage()
+{
+    for (std::uint32_t n = 0; n < config.dispatchWidth; ++n) {
+        if (fetchQueue.empty())
+            return;
+        if (ruuOccupancy >= config.ruuSize) {
+            ++ruuFullStalls;
+            return;
+        }
+        const FetchedOp &fo = fetchQueue.front();
+        if (isMemOp(fo.op.cls) && lsqOccupancy >= config.lsqSize) {
+            ++lsqFullStalls;
+            return;
+        }
+
+        RuuEntry &entry = slot(tailSeq);
+        VSV_ASSERT(entry.status == EntryStatus::Empty,
+                   "dispatch into an occupied RUU slot");
+        entry.op = fo.op;
+        entry.seq = tailSeq;
+        entry.status = EntryStatus::Dispatched;
+        entry.memPending = false;
+        entry.pred = fo.pred;
+        entry.fetchMispredicted = fo.fetchMispredicted;
+        entry.src1 = fo.op.depDist1 != 0 && tailSeq > fo.op.depDist1
+                         ? tailSeq - fo.op.depDist1
+                         : invalidSeqNum;
+        entry.src2 = fo.op.depDist2 != 0 && tailSeq > fo.op.depDist2
+                         ? tailSeq - fo.op.depDist2
+                         : invalidSeqNum;
+
+        if (isMemOp(fo.op.cls)) {
+            LsqEntry &mem = lsq[lsqTail];
+            mem.seq = tailSeq;
+            mem.wordAddr = fo.op.addr & ~Addr{7};
+            mem.isStore = fo.op.cls == OpClass::Store;
+            mem.addrReady = false;
+            entry.lsqSlot = lsqTail;
+            lsqTail = (lsqTail + 1) % config.lsqSize;
+            ++lsqOccupancy;
+        }
+
+        power.recordAccess(PowerStructure::RenameLogic);
+        power.recordAccess(PowerStructure::RuuRam);
+        power.recordAccess(PowerStructure::PipelineLatches);
+
+        fetchQueue.pop_front();
+        ++tailSeq;
+        ++ruuOccupancy;
+    }
+}
+
+void
+Core::fetchStage(Tick now)
+{
+    if (icacheStall)
+        return;
+    if (blockingBranch != invalidSeqNum || cycleNum < fetchResumeCycle)
+        return;
+    if (fetchQueue.size() >= config.fetchQueueSize)
+        return;
+
+    bool accessed_icache = false;
+    for (std::uint32_t n = 0; n < config.fetchWidth; ++n) {
+        if (fetchQueue.size() >= config.fetchQueueSize)
+            break;
+
+        FetchedOp fo;
+        fo.op = workload.next();
+        fo.seq = nextFetchSeq++;
+
+        if (!accessed_icache) {
+            accessed_icache = true;
+            const MemAccessOutcome outcome = memory.instFetch(
+                fo.op.pc, now, [this](Tick) { icacheStall = false; });
+            if (!outcome.accepted) {
+                // L1I MSHRs full; retry the whole fetch next cycle.
+                // The op is already drawn from the trace, so keep it.
+            } else if (!outcome.immediate) {
+                icacheStall = true;
+            }
+        }
+
+        power.recordAccess(PowerStructure::FetchLogic);
+        power.recordAccess(PowerStructure::PipelineLatches);
+
+        bool stop_fetch = icacheStall;
+        if (fo.op.cls == OpClass::Branch) {
+            power.recordAccess(PowerStructure::BranchPred);
+            fo.pred = predictor.predict(fo.op);
+            fo.fetchMispredicted =
+                BranchPredictor::wouldMispredict(fo.op, fo.pred);
+            if (fo.fetchMispredicted) {
+                // The trace holds only correct-path ops; model
+                // wrong-path fetch as a stall until this branch
+                // resolves plus the recovery penalty.
+                blockingBranch = fo.seq;
+                fetchResumeCycle = maxTick;
+                stop_fetch = true;
+            } else if (fo.op.taken) {
+                // Fetch does not continue past a taken branch within
+                // the same cycle.
+                stop_fetch = true;
+            }
+        }
+
+        fetchQueue.push_back(fo);
+        ++fetched;
+        if (stop_fetch)
+            break;
+    }
+}
+
+std::uint32_t
+Core::cycle(Tick now)
+{
+    nowTick = now;
+    ++cycleNum;
+    dcachePortsUsed = 0;
+
+    commitStage(now);
+    completeStage(now);
+    const std::uint32_t issued = issueStage(now);
+    dispatchStage();
+    fetchStage(now);
+    return issued;
+}
+
+void
+Core::regStats(StatRegistry &registry, const std::string &prefix) const
+{
+    registry.registerScalar(prefix + ".committed", &committed,
+                            "instructions committed");
+    registry.registerScalar(prefix + ".issued", &issuedTotal,
+                            "instructions issued");
+    registry.registerScalar(prefix + ".fetched", &fetched,
+                            "instructions fetched");
+    registry.registerScalar(prefix + ".loads", &loadsExecuted,
+                            "loads sent to the memory system");
+    registry.registerScalar(prefix + ".stores", &storesExecuted,
+                            "stores written at commit");
+    registry.registerScalar(prefix + ".swPrefetches",
+                            &swPrefetchesExecuted,
+                            "software prefetches executed");
+    registry.registerScalar(prefix + ".storeForwards", &storeForwardCount,
+                            "loads satisfied by store forwarding");
+    registry.registerScalar(prefix + ".branches", &branchesResolved,
+                            "branches resolved");
+    registry.registerScalar(prefix + ".mispredictRecoveries",
+                            &mispredictRecoveries,
+                            "fetch stalls released after mispredictions");
+    registry.registerScalar(prefix + ".zeroIssueCycles", &zeroIssueCycles,
+                            "pipeline cycles issuing nothing");
+    registry.registerScalar(prefix + ".ruuFullStalls", &ruuFullStalls,
+                            "dispatch stalls on a full RUU");
+    registry.registerScalar(prefix + ".lsqFullStalls", &lsqFullStalls,
+                            "dispatch stalls on a full LSQ");
+    registry.registerScalar(prefix + ".memRetries", &memRetries,
+                            "memory accesses rejected and retried");
+    registry.registerDistribution(prefix + ".issueRate", &issueRateDist,
+                                  "instructions issued per cycle");
+}
+
+} // namespace vsv

@@ -1,0 +1,148 @@
+#include "experiment.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+SimulationOptions
+makeOptions(const std::string &benchmark, bool timekeeping,
+            std::uint64_t instructions, std::uint64_t warmup)
+{
+    SimulationOptions options;
+    options.profile = spec2kProfile(benchmark);
+    options.timekeeping = timekeeping;
+    if (instructions != 0)
+        options.measureInstructions = instructions;
+    if (warmup != 0) {
+        options.warmupInstructions = warmup;
+    } else if (timekeeping) {
+        // Time-Keeping learns a region's correlations one footprint
+        // pass before they can fire; the profile knows how long ~1.5
+        // passes take.
+        options.warmupInstructions =
+            options.profile.tkWarmupInstructions;
+    }
+    options.vsv.enabled = false;
+    return options;
+}
+
+VsvConfig
+fsmVsvConfig()
+{
+    VsvConfig config;
+    config.enabled = true;
+    config.down = {3, 10};
+    config.upPolicy = UpPolicy::Fsm;
+    config.up = {3, 10};
+    return config;
+}
+
+VsvConfig
+noFsmVsvConfig()
+{
+    VsvConfig config;
+    config.enabled = true;
+    config.down = {0, 10};           // no down-FSM: drop on detection
+    config.upPolicy = UpPolicy::FirstR;  // rise on every return
+    return config;
+}
+
+VsvComparison
+makeComparison(const SimulationResult &base, const SimulationResult &vsv)
+{
+    // Commit-width overshoot can make the two runs differ by a few
+    // instructions; compare per-instruction execution time.
+    VSV_ASSERT(base.instructions > 0 && vsv.instructions > 0,
+               "comparing empty runs");
+    VsvComparison cmp;
+    cmp.base = base;
+    cmp.vsv = vsv;
+    const double base_tpi = static_cast<double>(base.ticks) /
+                            static_cast<double>(base.instructions);
+    const double vsv_tpi = static_cast<double>(vsv.ticks) /
+                           static_cast<double>(vsv.instructions);
+    cmp.perfDegradationPct = 100.0 * (vsv_tpi - base_tpi) / base_tpi;
+    cmp.powerSavingsPct =
+        100.0 * (base.avgPowerW - vsv.avgPowerW) / base.avgPowerW;
+    return cmp;
+}
+
+VsvComparison
+compareVsv(const SimulationOptions &base_options,
+           const VsvConfig &vsv_config)
+{
+    SimulationOptions base_opts = base_options;
+    base_opts.vsv.enabled = false;
+    Simulator base_sim(base_opts);
+    const SimulationResult base = base_sim.run();
+
+    SimulationOptions vsv_opts = base_options;
+    vsv_opts.vsv = vsv_config;
+    vsv_opts.vsv.enabled = true;
+    Simulator vsv_sim(vsv_opts);
+    const SimulationResult vsv = vsv_sim.run();
+
+    return makeComparison(base, vsv);
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    VSV_ASSERT(cells.size() == headers.size(),
+               "table row width mismatch");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-justify the first column (names), right-justify
+            // numeric columns.
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        os << '\n';
+    };
+
+    print_row(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+} // namespace vsv

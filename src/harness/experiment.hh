@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Experiment plumbing shared by the per-figure benchmark binaries:
+ * option construction, baseline-vs-VSV comparison, and fixed-width
+ * table output matching the rows the paper reports.
+ */
+
+#ifndef VSV_HARNESS_EXPERIMENT_HH
+#define VSV_HARNESS_EXPERIMENT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/simulator.hh"
+
+namespace vsv
+{
+
+/** Baseline/VSV pair for one benchmark and one VSV configuration. */
+struct VsvComparison
+{
+    SimulationResult base;
+    SimulationResult vsv;
+    /** Execution-time increase, % of the baseline (Figure 4 top). */
+    double perfDegradationPct = 0.0;
+    /** Average-power reduction, % of the baseline (Figure 4 bottom). */
+    double powerSavingsPct = 0.0;
+};
+
+/**
+ * Standard options for one benchmark run. `instructions` of 0 picks
+ * the suite default; the VSV controller starts disabled (baseline).
+ */
+SimulationOptions makeOptions(const std::string &benchmark,
+                              bool timekeeping,
+                              std::uint64_t instructions = 0,
+                              std::uint64_t warmup = 0);
+
+/** Run the baseline and the given VSV configuration; compute deltas. */
+VsvComparison compareVsv(const SimulationOptions &base_options,
+                         const VsvConfig &vsv_config);
+
+/** Derive degradation/savings from two already-run results. */
+VsvComparison makeComparison(const SimulationResult &base,
+                             const SimulationResult &vsv);
+
+/** The paper's default FSM configuration (down 3/10, up 3/10). */
+VsvConfig fsmVsvConfig();
+
+/** The paper's "without FSMs" configuration (down 0, up First-R). */
+VsvConfig noFsmVsvConfig();
+
+/** Simple fixed-width text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+    /** Format helper: fixed-precision double. */
+    static std::string num(double value, int precision = 2);
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace vsv
+
+#endif // VSV_HARNESS_EXPERIMENT_HH

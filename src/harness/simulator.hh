@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Top-level simulator: wires one core, its memory hierarchy, the
+ * power model and the VSV controller together and runs one benchmark
+ * configuration end to end.
+ *
+ * A run has two phases, mirroring the paper's methodology (fast-
+ * forward with cache warmup, then detailed simulation):
+ *
+ *  1. Functional warmup: the trace is streamed through the caches,
+ *     branch predictor and the Time-Keeping engine with no pipeline
+ *     timing. This stands in for the paper's two-billion-instruction
+ *     fast-forward: it removes cold misses from the measured window
+ *     and - critically for Time-Keeping - trains the address
+ *     predictor's correlations before measurement starts.
+ *  2. Measured execution: the global tick loop. Each tick the memory
+ *     system's events are serviced, the VSV controller advances (and
+ *     decides whether the pipeline clock has an edge), the core runs
+ *     one pipeline cycle on edges, the issue count feeds the FSMs,
+ *     and the power model closes the tick.
+ *
+ * Results are deltas across the measured window only.
+ */
+
+#ifndef VSV_HARNESS_SIMULATOR_HH
+#define VSV_HARNESS_SIMULATOR_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "power/model.hh"
+#include "prefetch/stride.hh"
+#include "prefetch/timekeeping.hh"
+#include "stats/stats.hh"
+#include "vsv/controller.hh"
+#include "workload/workload.hh"
+
+namespace vsv
+{
+
+/** Everything one run needs. */
+struct SimulationOptions
+{
+    WorkloadProfile profile;
+    /**
+     * When set, replay this binary trace file (looping) instead of
+     * generating the profile's synthetic stream; the profile is still
+     * used for region pre-warm footprints and reporting.
+     */
+    std::string tracePath;
+    std::uint64_t warmupInstructions = 300000;
+    std::uint64_t measureInstructions = 1000000;
+    bool timekeeping = false;  ///< enable the TK hardware prefetcher
+    /** Enable the conventional stream prefetcher instead (mutually
+     *  exclusive with timekeeping). */
+    bool stridePrefetch = false;
+    VsvConfig vsv{};           ///< vsv.enabled=false => baseline run
+    PowerModelConfig power{};
+    HierarchyConfig hierarchy{};
+    CoreConfig core{};
+    BranchPredictorConfig branch{};
+    TimekeepingConfig tk{};
+    StridePrefetcherConfig stride{};
+};
+
+/** Whole-run metrics (measured window only). */
+struct SimulationResult
+{
+    std::string benchmark;
+    std::uint64_t instructions = 0;
+    Tick ticks = 0;              ///< wall time in full-speed cycles
+    std::uint64_t pipelineCycles = 0;
+    double ipc = 0.0;            ///< instructions per full-speed cycle
+    double mr = 0.0;             ///< demand L2 misses / 1000 insts
+    double energyPj = 0.0;
+    double avgPowerW = 0.0;
+    std::uint64_t downTransitions = 0;
+    std::uint64_t upTransitions = 0;
+    double lowModeFraction = 0.0;  ///< fraction of ticks at VDDL-ish
+};
+
+/** One wired-up simulation instance. */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimulationOptions &options);
+    ~Simulator();
+
+    /** Run warmup + measurement; may be called once. */
+    SimulationResult run();
+
+    /** Access to the stat registry (valid after run()). */
+    const StatRegistry &stats() const { return registry; }
+
+    /** Component access for tests and examples. */
+    const VsvController &controller() const { return *vsvCtrl; }
+    const MemoryHierarchy &memory() const { return *hierarchy; }
+    const PowerModel &powerModel() const { return *power; }
+    const Core &core() const { return *cpu; }
+
+  private:
+    void functionalWarmup();
+
+    SimulationOptions options;
+    StatRegistry registry;
+
+    std::unique_ptr<PowerModel> power;
+    std::unique_ptr<MemoryHierarchy> hierarchy;
+    std::unique_ptr<TimekeepingPrefetcher> tk;
+    std::unique_ptr<StridePrefetcher> stride;
+    std::unique_ptr<BranchPredictor> predictor;
+    std::unique_ptr<WorkloadGenerator> workload;
+    std::unique_ptr<TraceReader> traceReader;
+    TraceSource *source = nullptr;
+    std::unique_ptr<VsvController> vsvCtrl;
+    std::unique_ptr<Core> cpu;
+
+    Tick warmupTicks = 0;
+    bool ran = false;
+};
+
+} // namespace vsv
+
+#endif // VSV_HARNESS_SIMULATOR_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional-unit pool descriptors (latency, pipelining, pool sizes).
+ *
+ * Pool sizes default to the paper's Table 1 configuration: 8 integer
+ * ALUs, 2 integer mul/div units, 4 FP ALUs, 4 FP mul/div units.
+ * Latencies follow sim-outorder's defaults for the same units.
+ */
+
+#ifndef VSV_ISA_FUNCUNITS_HH
+#define VSV_ISA_FUNCUNITS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/microop.hh"
+
+namespace vsv
+{
+
+/** Functional-unit pools (a pool serves one or more op classes). */
+enum class FuPool : std::uint8_t
+{
+    IntAlu,     ///< integer ALUs (int ops, branches, agen)
+    IntMulDiv,  ///< integer multiply/divide
+    FpAlu,      ///< FP add/compare
+    FpMulDiv,   ///< FP multiply/divide
+    NumPools
+};
+
+inline constexpr std::size_t numFuPools =
+    static_cast<std::size_t>(FuPool::NumPools);
+
+/** Execution characteristics of one op class. */
+struct OpTiming
+{
+    FuPool pool;          ///< which pool executes it
+    std::uint32_t latency;  ///< execute latency in pipeline cycles
+    bool pipelined;       ///< can the unit accept a new op next cycle?
+};
+
+/** Timing for an op class (Load/Store timing covers agen only). */
+OpTiming opTiming(OpClass cls);
+
+/** Default pool sizes per Table 1. */
+struct FuPoolSizes
+{
+    std::uint32_t count[numFuPools] = {8, 2, 4, 4};
+
+    std::uint32_t
+    size(FuPool pool) const
+    {
+        return count[static_cast<std::size_t>(pool)];
+    }
+};
+
+} // namespace vsv
+
+#endif // VSV_ISA_FUNCUNITS_HH

@@ -1,0 +1,196 @@
+#include "model.hh"
+
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+PowerModel::PowerModel(const PowerModelConfig &config)
+    : config_(config),
+      pipelineVdd_(config.vddHigh),
+      vddHighSq(config.vddHigh * config.vddHigh)
+{
+    VSV_ASSERT(config.vddHigh > 0.0, "VDDH must be positive");
+    VSV_ASSERT(config.vddLow > 0.0 && config.vddLow <= config.vddHigh,
+               "VDDL must be in (0, VDDH]");
+    VSV_ASSERT(config.gatingEfficiency >= 0.0 &&
+               config.gatingEfficiency <= 1.0,
+               "gating efficiency must be in [0,1]");
+    VSV_ASSERT(config.leakageFraction >= 0.0,
+               "leakage fraction must be non-negative");
+
+    for (std::size_t i = 0; i < numPowerStructures; ++i) {
+        const StructureParams &params =
+            structureParams(static_cast<PowerStructure>(i));
+        const double leak = config.leakageFraction * params.maxCyclePj;
+        if (params.domain == VoltageDomain::Scaled)
+            scaledLeakPerTick += leak;
+        else
+            fixedLeakPerTick += leak;
+    }
+}
+
+void
+PowerModel::setPipelineVdd(double vdd)
+{
+    VSV_ASSERT(vdd >= config_.vddLow - 1e-9 &&
+               vdd <= config_.vddHigh + 1e-9,
+               "pipeline VDD outside [VDDL, VDDH]");
+    pipelineVdd_ = vdd;
+}
+
+void
+PowerModel::addRampEnergy()
+{
+    rampEnergy += config_.rampEnergyPj;
+}
+
+double
+PowerModel::domainVoltageSq(VoltageDomain domain) const
+{
+    if (domain == VoltageDomain::Fixed)
+        return 1.0;  // energies are specified at VDDH
+    return (pipelineVdd_ * pipelineVdd_) / vddHighSq;
+}
+
+void
+PowerModel::recordAccess(PowerStructure s, double count)
+{
+    const auto idx = static_cast<std::size_t>(s);
+    const StructureParams &params = structureParams(s);
+
+    accessesThisTick[idx] += count;
+
+    double per_access = params.accessPj;
+    // The VDDL->VDDH path latches: in the high-power mode the regular
+    // (cheaper) latch set is selected; in the low-power mode the
+    // level-converting set is. Only the selected set burns power.
+    if (s == PowerStructure::LevelConverters && !lowPowerPath)
+        per_access *= config_.converterHighModeFactor;
+
+    energyPj[idx] += count * per_access * domainVoltageSq(params.domain);
+}
+
+void
+PowerModel::tick(bool pipeline_edge)
+{
+    ++ticks;
+    if (pipeline_edge)
+        ++pipelineEdges;
+
+    // Leakage accrues every tick, ungateable; the scaled domain's
+    // share falls with roughly VDD^3 (subthreshold DIBL), the paper's
+    // cited leakage benefit of supply scaling.
+    if (scaledLeakPerTick > 0.0 || fixedLeakPerTick > 0.0) {
+        const double vratio = pipelineVdd_ / config_.vddHigh;
+        leakageEnergy += fixedLeakPerTick +
+                         scaledLeakPerTick * vratio * vratio * vratio;
+    }
+
+    for (std::size_t i = 0; i < numPowerStructures; ++i) {
+        const auto s = static_cast<PowerStructure>(i);
+        const StructureParams &params = structureParams(s);
+
+        // The global clock tree burns a full "cycle" of energy on
+        // every pipeline clock edge; in the low-power mode edges come
+        // at half rate, so clock power halves on top of the V^2 drop.
+        if (s == PowerStructure::ClockTree) {
+            if (pipeline_edge) {
+                energyPj[i] += params.maxCyclePj *
+                               domainVoltageSq(params.domain);
+            }
+            continue;
+        }
+
+        if (accessesThisTick[i] > 0.0)
+            continue;  // active structures already paid access energy
+
+        // Idle (clock-load) power. The L2 runs on the full-speed
+        // clock; everything else - including the VDDH L1s and the
+        // register file - is clocked with the pipeline.
+        const bool clocked =
+            s == PowerStructure::L2Cache ? true : pipeline_edge;
+        if (!clocked)
+            continue;
+
+        double idle = 0.0;
+        switch (config_.gating) {
+          case GatingStyle::None:
+            idle = params.maxCyclePj;
+            break;
+          case GatingStyle::Simple:
+            idle = params.maxCyclePj * config_.idleFraction;
+            break;
+          case GatingStyle::Dcg:
+            idle = params.maxCyclePj * config_.idleFraction;
+            if (params.dcgGateable)
+                idle *= 1.0 - config_.gatingEfficiency;
+            break;
+          case GatingStyle::Ideal:
+            idle = 0.0;
+            break;
+        }
+        energyPj[i] += idle * domainVoltageSq(params.domain);
+    }
+
+    accessesThisTick.fill(0.0);
+}
+
+double
+PowerModel::totalEnergyPj() const
+{
+    double total = rampEnergy.value() + leakageEnergy.value();
+    for (const auto &e : energyPj)
+        total += e.value();
+    return total;
+}
+
+double
+PowerModel::structureEnergyPj(PowerStructure s) const
+{
+    return energyPj[static_cast<std::size_t>(s)].value();
+}
+
+double
+PowerModel::domainEnergyPj(VoltageDomain domain) const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < numPowerStructures; ++i) {
+        if (structureParams(static_cast<PowerStructure>(i)).domain ==
+            domain) {
+            total += energyPj[i].value();
+        }
+    }
+    return total;
+}
+
+double
+PowerModel::averagePowerW(Tick duration_ticks) const
+{
+    if (duration_ticks == 0)
+        return 0.0;
+    // pJ per ns == mW; convert to watts.
+    return totalEnergyPj() / static_cast<double>(duration_ticks) * 1e-3;
+}
+
+void
+PowerModel::regStats(StatRegistry &registry, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < numPowerStructures; ++i) {
+        const auto s = static_cast<PowerStructure>(i);
+        registry.registerScalar(
+            prefix + ".energy." + std::string(powerStructureName(s)),
+            &energyPj[i],
+            "dynamic energy (pJ)");
+    }
+    registry.registerScalar(prefix + ".energy.ramp", &rampEnergy,
+                            "dual-rail ramp energy (pJ)");
+    registry.registerScalar(prefix + ".energy.leakage", &leakageEnergy,
+                            "leakage energy (pJ); zero unless modeled");
+    registry.registerScalar(prefix + ".ticks", &ticks,
+                            "global ticks accounted");
+    registry.registerScalar(prefix + ".pipelineEdges", &pipelineEdges,
+                            "pipeline clock edges");
+}
+
+} // namespace vsv

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Voltage-aware, Wattch-style dynamic power accounting.
+ *
+ * Usage per global tick (1 ns):
+ *   1. The VSV controller pushes the pipeline-domain supply voltage
+ *      for this tick via setPipelineVdd() (the average of the cycle's
+ *      start and end voltage during ramps, per paper Section 5.2) and
+ *      the operating mode via setLowPowerPath().
+ *   2. Components record activity with recordAccess(); the access
+ *      energy is charged immediately at the structure's current
+ *      domain voltage.
+ *   3. The simulator calls tick(pipeline_edge) once, which charges
+ *      clock-tree power (only on pipeline clock edges - half rate in
+ *      the low-power mode) and residual idle power for unaccessed
+ *      structures, then clears the per-tick activity.
+ *
+ * Deterministic clock gating (DCG): structures the DCG paper gates
+ * (functional units, pipeline latches, D-cache wordline decoders,
+ * result-bus drivers) consume only (1 - gatingEfficiency) of the
+ * residual idle power when unused; everything else pays the full
+ * idleFraction because the clock-gate signal cannot reach it in time
+ * (the paper's "timing too tight" argument). Gated-off structures in
+ * a cycle contribute nothing else, as in Wattch's aggressive
+ * conditional-clocking mode.
+ *
+ * Leakage is excluded by default, matching the paper (0.18 um); a
+ * nonzero leakageFraction enables the VDD^3 leakage model the paper
+ * defers to future technology nodes.
+ */
+
+#ifndef VSV_POWER_MODEL_HH
+#define VSV_POWER_MODEL_HH
+
+#include <array>
+#include <string>
+
+#include "common/types.hh"
+#include "power/structures.hh"
+#include "stats/stats.hh"
+
+namespace vsv
+{
+
+/**
+ * Clock-gating style, following Wattch's conditional-clocking modes
+ * plus the deterministic clock gating (DCG) the paper's baseline uses.
+ */
+enum class GatingStyle : std::uint8_t
+{
+    None,    ///< no gating: idle structures burn a full busy cycle
+    Simple,  ///< ungated clock loads only: idleFraction everywhere
+    Dcg,     ///< DCG gates FUs/latches/decoders/result bus (baseline)
+    Ideal    ///< perfect gating: idle structures burn nothing
+};
+
+/** Tunable power-model parameters. */
+struct PowerModelConfig
+{
+    double vddHigh = 1.8;  ///< VDDH (TSMC 0.18 um nominal)
+    double vddLow = 1.2;   ///< VDDL (half-speed point, Section 3.1)
+    GatingStyle gating = GatingStyle::Dcg;
+    /** Fraction of gateable idle power DCG removes. */
+    double gatingEfficiency = 0.92;
+    /** Idle (clock-load) power as a fraction of a busy cycle. */
+    double idleFraction = 0.10;
+    /** Dual-rail network ramp energy per transition (Section 5.2). */
+    double rampEnergyPj = 66000.0;
+    /**
+     * Leakage power as a fraction of a structure's busy-cycle dynamic
+     * power at VDDH. The paper excludes leakage (it is small at
+     * 0.18 um) but notes that supply scaling cuts it with VDD^3..4;
+     * setting this nonzero models a leakier technology node. Leakage
+     * accrues every tick regardless of clock gating and scales with
+     * the domain voltage cubed.
+     */
+    double leakageFraction = 0.0;
+    /**
+     * Regular-latch energy relative to a level-converting latch on
+     * the VDDL->VDDH paths (Section 3.6: the unselected set is
+     * clock-gated, so only one set burns power).
+     */
+    double converterHighModeFactor = 0.5;
+};
+
+/** The per-run energy accountant. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerModelConfig &config = {});
+
+    /** Pipeline-domain supply for the current tick (volts). */
+    void setPipelineVdd(double vdd);
+    double pipelineVdd() const { return pipelineVdd_; }
+
+    /**
+     * Select the latch set on the VDDL->VDDH paths: true while the
+     * pipeline is in (or ramping through) the low-power path so the
+     * level-converting latches are selected.
+     */
+    void setLowPowerPath(bool low) { lowPowerPath = low; }
+
+    /** Charge one ramp's dual-rail network energy (66 nJ). */
+    void addRampEnergy();
+
+    /** Record `count` accesses to structure s during this tick. */
+    void recordAccess(PowerStructure s, double count = 1.0);
+
+    /**
+     * Close out one global tick.
+     * @param pipeline_edge true when the pipeline clock (and the
+     *        half-clocked L1/regfile) saw an edge this tick
+     */
+    void tick(bool pipeline_edge);
+
+    /** Cumulative energy in picojoules (dynamic + ramp + leakage). */
+    double totalEnergyPj() const;
+    double structureEnergyPj(PowerStructure s) const;
+    double leakageEnergyPj() const { return leakageEnergy.value(); }
+    double rampEnergyPj() const
+    {
+        return rampEnergy.value();
+    }
+    double domainEnergyPj(VoltageDomain domain) const;
+
+    /** Average power in watts given a wall-clock duration in ticks. */
+    double averagePowerW(Tick duration_ticks) const;
+
+    void regStats(StatRegistry &registry, const std::string &prefix) const;
+
+    const PowerModelConfig &config() const { return config_; }
+
+  private:
+    double domainVoltageSq(VoltageDomain domain) const;
+
+    PowerModelConfig config_;
+    double pipelineVdd_;
+    double vddHighSq;
+    bool lowPowerPath = false;
+
+    std::array<double, numPowerStructures> accessesThisTick{};
+    std::array<Scalar, numPowerStructures> energyPj;
+    Scalar rampEnergy;
+    Scalar leakageEnergy;
+    /** Precomputed per-tick leakage at VDDH, split by domain. */
+    double scaledLeakPerTick = 0.0;
+    double fixedLeakPerTick = 0.0;
+    Scalar ticks;
+    Scalar pipelineEdges;
+};
+
+} // namespace vsv
+
+#endif // VSV_POWER_MODEL_HH

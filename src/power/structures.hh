@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The set of power-modeled processor structures and their Wattch-style
+ * parameters.
+ *
+ * Every structure belongs to one of two voltage domains:
+ *
+ *  - Scaled: the VSV pipeline domain (Figure 1, white). Its supply
+ *    follows the VSV controller between VDDH and VDDL.
+ *  - Fixed: large RAM structures and the PLL (Figure 1, gray): the
+ *    register file, L1 I/D caches, L2 cache, the branch predictor's
+ *    RAM tables and the prefetch engine's tables. These stay at VDDH
+ *    because one VDD ramp would charge every cell and could not be
+ *    amortized by the few accesses within an L2-miss window
+ *    (paper eq. 3-5).
+ *
+ * Per-access energies are effective-capacitance models (E = C * V^2)
+ * expressed in picojoules at VDDH; the PowerModel rescales by
+ * (V/VDDH)^2 for the scaled domain. Absolute values are plausible
+ * 0.18 um numbers tuned so the *breakdown* of baseline power matches
+ * Wattch's published Alpha-like distribution (clock ~30%, caches
+ * ~15%, window ~15%, regfile ~8%, FUs ~12%, ...); the paper's results
+ * are relative power savings, which depend on the breakdown and not
+ * on absolute watts.
+ */
+
+#ifndef VSV_POWER_STRUCTURES_HH
+#define VSV_POWER_STRUCTURES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace vsv
+{
+
+/** Voltage domain of a structure. */
+enum class VoltageDomain : std::uint8_t
+{
+    Scaled,  ///< follows the VSV pipeline supply
+    Fixed    ///< always at VDDH
+};
+
+/** Power-modeled structures. */
+enum class PowerStructure : std::uint8_t
+{
+    // Scaled (pipeline) domain.
+    FetchLogic,      ///< fetch/decode combinational logic
+    RenameLogic,     ///< rename/dispatch logic
+    RuuCam,          ///< RUU wakeup CAM + select logic
+    RuuRam,          ///< RUU payload RAM (small, scalable per Sec 3.5)
+    LsqCam,          ///< LSQ address CAM
+    IntAlu,          ///< integer ALUs
+    IntMulDiv,       ///< integer multiplier/divider
+    FpAlu,           ///< FP adders
+    FpMulDiv,        ///< FP multiplier/divider
+    ResultBus,       ///< result bus drivers
+    PipelineLatches, ///< pipeline stage latches
+    LevelConverters, ///< regular/level-converting latch sets (Sec 3.6)
+    ClockTree,       ///< global clock tree (scaled with the pipeline)
+
+    // Fixed-VDDH domain (gray in Figure 1).
+    RegFile,         ///< architectural/physical register file
+    L1ICache,        ///< L1 instruction cache
+    L1DCache,        ///< L1 data cache
+    L2Cache,         ///< unified L2
+    BranchPred,      ///< predictor + BTB RAM tables
+    PrefetchBuffer,  ///< Time-Keeping 128-entry prefetch buffer
+    TkTables,        ///< Time-Keeping predictor/decay tables
+
+    NumStructures
+};
+
+inline constexpr std::size_t numPowerStructures =
+    static_cast<std::size_t>(PowerStructure::NumStructures);
+
+/** Static parameters of one structure. */
+struct StructureParams
+{
+    std::string_view name;
+    VoltageDomain domain;
+    /**
+     * True when deterministic clock gating can gate the structure when
+     * it is unused in a cycle (DCG gates functional units, pipeline
+     * latches, D-cache wordline decoders and result bus drivers).
+     */
+    bool dcgGateable;
+    double accessPj;    ///< energy per access at VDDH (pJ)
+    double maxCyclePj;  ///< energy of a fully-busy cycle at VDDH (pJ)
+};
+
+/** Parameter table lookup. */
+const StructureParams &structureParams(PowerStructure s);
+
+/** Printable name. */
+std::string_view powerStructureName(PowerStructure s);
+
+} // namespace vsv
+
+#endif // VSV_POWER_STRUCTURES_HH

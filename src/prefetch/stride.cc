@@ -1,0 +1,131 @@
+#include "stride.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+StridePrefetcher::StridePrefetcher(const StridePrefetcherConfig &config,
+                                   const CacheConfig &l1d_config,
+                                   PowerModel &power)
+    : config(config), l1dConfig(l1d_config), power(power),
+      streams(config.streams)
+{
+    VSV_ASSERT(config.streams > 0, "stream table must be non-empty");
+    VSV_ASSERT(config.degree > 0, "prefetch degree must be nonzero");
+}
+
+void
+StridePrefetcher::setIssuer(PrefetchIssuer *new_issuer)
+{
+    issuer = new_issuer;
+}
+
+void
+StridePrefetcher::notifyL1DAccess(Addr addr, bool hit, Tick now)
+{
+    if (hit)
+        return;  // stream prefetchers train on the miss stream
+
+    power.recordAccess(PowerStructure::TkTables);  // stream table RAM
+    const Addr block =
+        addr & ~static_cast<Addr>(l1dConfig.blockBytes - 1);
+
+    // Look for the stream this miss extends: the delta from its last
+    // address must be small and - once confirmed - equal the stride.
+    Stream *best = nullptr;
+    for (Stream &stream : streams) {
+        if (!stream.valid)
+            continue;
+        const std::int64_t delta =
+            static_cast<std::int64_t>(block) -
+            static_cast<std::int64_t>(stream.lastAddr);
+        if (delta == 0 || std::llabs(delta) > config.maxStrideBytes)
+            continue;
+        if (stream.confirmed && delta != stream.stride)
+            continue;
+        best = &stream;
+        ++missesMatched;
+
+        if (!stream.confirmed) {
+            if (stream.stride == delta) {
+                stream.confirmed = true;
+                ++streamsConfirmed;
+            } else {
+                stream.stride = delta;
+            }
+        }
+        stream.lastAddr = block;
+        stream.lruStamp = ++stamp;
+        break;
+    }
+
+    if (best && best->confirmed && issuer) {
+        for (std::uint32_t d = 1; d <= config.degree; ++d) {
+            const std::int64_t target =
+                static_cast<std::int64_t>(block) +
+                best->stride * static_cast<std::int64_t>(d);
+            if (target < 0)
+                break;
+            issuer->issueHardwarePrefetch(static_cast<Addr>(target),
+                                          now);
+            ++issued;
+        }
+        return;
+    }
+    if (best)
+        return;
+
+    // No stream matched: allocate (LRU victim).
+    Stream *victim = &streams[0];
+    for (Stream &stream : streams) {
+        if (!stream.valid) {
+            victim = &stream;
+            break;
+        }
+        if (stream.lruStamp < victim->lruStamp)
+            victim = &stream;
+    }
+    victim->valid = true;
+    victim->lastAddr = block;
+    victim->stride = 0;
+    victim->confirmed = false;
+    victim->lruStamp = ++stamp;
+    ++streamsAllocated;
+}
+
+void
+StridePrefetcher::notifyL1DFill(Addr, Addr, Tick)
+{
+    // Streams train on misses; fills carry no extra information here.
+}
+
+bool
+StridePrefetcher::probeBuffer(Addr, Tick)
+{
+    // Stream prefetches land in the L2 only; there is no side buffer.
+    return false;
+}
+
+void
+StridePrefetcher::fillBuffer(Addr, Tick)
+{
+}
+
+void
+StridePrefetcher::regStats(StatRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.registerScalar(prefix + ".issued", &issued,
+                            "stream prefetches issued");
+    registry.registerScalar(prefix + ".streamsAllocated",
+                            &streamsAllocated, "stream entries allocated");
+    registry.registerScalar(prefix + ".streamsConfirmed",
+                            &streamsConfirmed, "streams confirmed");
+    registry.registerScalar(prefix + ".missesMatched", &missesMatched,
+                            "misses that extended a stream");
+}
+
+} // namespace vsv

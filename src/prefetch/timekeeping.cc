@@ -1,0 +1,276 @@
+#include "timekeeping.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+TimekeepingPrefetcher::TimekeepingPrefetcher(const TimekeepingConfig &config,
+                                             const CacheConfig &l1d_config,
+                                             PowerModel &power)
+    : config(config),
+      l1dConfig(l1d_config),
+      power(power)
+{
+    VSV_ASSERT(config.bufferEntries > 0, "prefetch buffer size zero");
+    VSV_ASSERT(isPowerOf2(config.predictorEntries),
+               "predictor entries must be a power of two");
+    VSV_ASSERT(config.decayResolution > 0, "decay resolution zero");
+    VSV_ASSERT(config.sweepSlices > 0, "sweep slices zero");
+    VSV_ASSERT(config.deadMultiplier > 0.0, "dead multiplier <= 0");
+
+    numSets = static_cast<std::uint32_t>(
+        l1d_config.sizeBytes / (l1d_config.blockBytes * l1d_config.assoc));
+    assoc = l1d_config.assoc;
+    frames.resize(static_cast<std::size_t>(numSets) * assoc);
+    predictor.resize(config.predictorEntries);
+}
+
+void
+TimekeepingPrefetcher::setIssuer(PrefetchIssuer *new_issuer)
+{
+    issuer = new_issuer;
+}
+
+std::uint32_t
+TimekeepingPrefetcher::signature(Addr block_addr) const
+{
+    const std::uint32_t set = static_cast<std::uint32_t>(
+        (block_addr / l1dConfig.blockBytes) & (numSets - 1));
+    const Addr tag = block_addr / l1dConfig.blockBytes / numSets;
+
+    const std::uint32_t tag_part =
+        static_cast<std::uint32_t>(tag) & ((1u << config.tagSigBits) - 1);
+    const std::uint32_t index_part =
+        set & ((1u << config.indexSigBits) - 1);
+    const std::uint32_t sig = (tag_part << config.indexSigBits) | index_part;
+    return sig & (config.predictorEntries - 1);
+}
+
+TimekeepingPrefetcher::Frame *
+TimekeepingPrefetcher::findFrame(Addr block_addr)
+{
+    const std::uint32_t set = static_cast<std::uint32_t>(
+        (block_addr / l1dConfig.blockBytes) & (numSets - 1));
+    Frame *base = &frames[static_cast<std::size_t>(set) * assoc];
+    for (std::uint32_t way = 0; way < assoc; ++way) {
+        if (base[way].blockAddr == block_addr)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+void
+TimekeepingPrefetcher::notifyL1DAccess(Addr addr, bool hit, Tick now)
+{
+    if (!hit)
+        return;
+    const Addr block = addr & ~static_cast<Addr>(l1dConfig.blockBytes - 1);
+    if (Frame *frame = findFrame(block)) {
+        frame->lastAccess = now;
+        frame->deadHandled = false;
+    }
+}
+
+void
+TimekeepingPrefetcher::notifyL1DFill(Addr block_addr, Addr victim_block,
+                                     Tick now)
+{
+    const std::uint32_t set = static_cast<std::uint32_t>(
+        (block_addr / l1dConfig.blockBytes) & (numSets - 1));
+    Frame *base = &frames[static_cast<std::size_t>(set) * assoc];
+
+    // Train the predictor with the exact frame-successor pair: the
+    // victim this fill displaced is followed, in its frame, by this
+    // block. Pairs whose tag delta does not fit the predictor entry's
+    // field width (cross-region churn, e.g. a random warm-set block
+    // displacing a streaming block) are not trained, so regular
+    // streams learn a stable delta even under heavy interleaving.
+    if (victim_block != invalidAddr && victim_block != block_addr) {
+        power.recordAccess(PowerStructure::TkTables);
+        const Addr set_stride =
+            static_cast<Addr>(numSets) * l1dConfig.blockBytes;
+        // Same set => the difference is a whole number of set strides.
+        const std::int64_t delta =
+            (static_cast<std::int64_t>(block_addr) -
+             static_cast<std::int64_t>(victim_block)) /
+            static_cast<std::int64_t>(set_stride);
+        if (delta != 0 && delta <= config.maxDeltaTags &&
+            delta >= -config.maxDeltaTags) {
+            PredictorEntry &entry = predictor[signature(victim_block)];
+            if (entry.confidence > 0 &&
+                entry.deltaTags == static_cast<std::int32_t>(delta)) {
+                if (entry.confidence < 3)
+                    ++entry.confidence;
+            } else if (entry.confidence > 0) {
+                --entry.confidence;
+            } else {
+                entry.deltaTags = static_cast<std::int32_t>(delta);
+                entry.confidence = 1;
+            }
+            ++trainedPairs;
+        }
+    }
+
+    // Claim a shadow frame: reuse the one holding this block (refill),
+    // else an empty one, else the stalest (LRU-ish) frame.
+    Frame *target = nullptr;
+    for (std::uint32_t way = 0; way < assoc; ++way) {
+        if (base[way].blockAddr == block_addr) {
+            target = &base[way];
+            break;
+        }
+        if (base[way].blockAddr == invalidAddr && !target)
+            target = &base[way];
+    }
+    if (!target) {
+        target = &base[0];
+        for (std::uint32_t way = 1; way < assoc; ++way) {
+            if (base[way].lastAccess < target->lastAccess)
+                target = &base[way];
+        }
+    }
+
+    target->blockAddr = block_addr;
+    target->fillTime = now;
+    target->lastAccess = now;
+    target->deadHandled = false;
+}
+
+bool
+TimekeepingPrefetcher::probeBuffer(Addr addr, Tick now)
+{
+    (void)now;
+    const Addr block = addr & ~static_cast<Addr>(l1dConfig.blockBytes - 1);
+    auto it = bufferSet.find(block);
+    if (it == bufferSet.end())
+        return false;
+
+    // The hit consumes the entry: the block is promoted into the L1D
+    // by the hierarchy. Leave the stale FIFO slot; it is skipped when
+    // it reaches the head.
+    bufferSet.erase(it);
+    ++bufferHits;
+    return true;
+}
+
+void
+TimekeepingPrefetcher::fillBuffer(Addr block_addr, Tick now)
+{
+    (void)now;
+    if (bufferSet.count(block_addr))
+        return;
+
+    power.recordAccess(PowerStructure::PrefetchBuffer);
+    while (bufferSet.size() >= config.bufferEntries) {
+        // FIFO replacement; skip slots already consumed by hits.
+        VSV_ASSERT(!bufferFifo.empty(), "prefetch buffer FIFO underflow");
+        const Addr head = bufferFifo.front();
+        bufferFifo.pop_front();
+        if (bufferSet.erase(head))
+            ++bufferReplacements;
+    }
+    bufferFifo.push_back(block_addr);
+    bufferSet.insert(block_addr);
+    ++bufferInsertions;
+
+    // Keep the FIFO bookkeeping bounded when many slots went stale.
+    while (bufferFifo.size() > 4 * config.bufferEntries &&
+           !bufferSet.count(bufferFifo.front())) {
+        bufferFifo.pop_front();
+    }
+}
+
+void
+TimekeepingPrefetcher::tick(Tick now)
+{
+    if (now < nextSweepTick)
+        return;
+    nextSweepTick = now + config.decayResolution;
+    sweepSlice(now);
+}
+
+void
+TimekeepingPrefetcher::sweepSlice(Tick now)
+{
+    const std::uint32_t sets_per_slice =
+        std::max<std::uint32_t>(1, numSets / config.sweepSlices);
+
+    power.recordAccess(PowerStructure::TkTables);
+    for (std::uint32_t i = 0; i < sets_per_slice; ++i) {
+        const std::uint32_t set = (sweepCursor + i) % numSets;
+        Frame *base = &frames[static_cast<std::size_t>(set) * assoc];
+        for (std::uint32_t way = 0; way < assoc; ++way) {
+            Frame &frame = base[way];
+            if (frame.blockAddr == invalidAddr || frame.deadHandled)
+                continue;
+
+            const Tick live = std::max<Tick>(
+                frame.lastAccess - frame.fillTime, config.minLiveTime);
+            const Tick idle = now - frame.lastAccess;
+            if (static_cast<double>(idle) <=
+                config.deadMultiplier * static_cast<double>(live)) {
+                continue;
+            }
+
+            // The block is predicted dead: prefetch its historical
+            // successor if the predictor holds a confident delta.
+            frame.deadHandled = true;
+            ++deadPredictions;
+            const PredictorEntry &entry = predictor[signature(
+                frame.blockAddr)];
+            if (entry.confidence < config.confidenceThreshold) {
+                ++predictorMisses;
+                continue;
+            }
+            const Addr set_stride =
+                static_cast<Addr>(numSets) * l1dConfig.blockBytes;
+            const std::int64_t target =
+                static_cast<std::int64_t>(frame.blockAddr) +
+                static_cast<std::int64_t>(entry.deltaTags) *
+                    static_cast<std::int64_t>(set_stride);
+            if (target < 0)
+                continue;
+            const Addr next_block = static_cast<Addr>(target);
+            if (issuer && !bufferSet.count(next_block)) {
+                issuer->issueHardwarePrefetch(next_block, now);
+                ++issued;
+            }
+        }
+    }
+    sweepCursor = (sweepCursor + sets_per_slice) % numSets;
+}
+
+std::vector<std::pair<std::int32_t, std::uint8_t>>
+TimekeepingPrefetcher::dumpPredictor() const
+{
+    std::vector<std::pair<std::int32_t, std::uint8_t>> result;
+    result.reserve(predictor.size());
+    for (const PredictorEntry &entry : predictor)
+        result.emplace_back(entry.deltaTags, entry.confidence);
+    return result;
+}
+
+void
+TimekeepingPrefetcher::regStats(StatRegistry &registry,
+                                const std::string &prefix) const
+{
+    registry.registerScalar(prefix + ".issued", &issued,
+                            "hardware prefetches issued");
+    registry.registerScalar(prefix + ".deadPredictions", &deadPredictions,
+                            "blocks predicted dead");
+    registry.registerScalar(prefix + ".trainedPairs", &trainedPairs,
+                            "eviction->successor pairs trained");
+    registry.registerScalar(prefix + ".bufferHits", &bufferHits,
+                            "prefetch buffer hits");
+    registry.registerScalar(prefix + ".bufferInsertions", &bufferInsertions,
+                            "prefetch buffer insertions");
+    registry.registerScalar(prefix + ".bufferReplacements",
+                            &bufferReplacements,
+                            "prefetch buffer FIFO replacements");
+    registry.registerScalar(prefix + ".predictorMisses", &predictorMisses,
+                            "dead predictions with no learned successor");
+}
+
+} // namespace vsv

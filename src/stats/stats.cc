@@ -1,0 +1,107 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+namespace vsv
+{
+
+Distribution::Distribution(std::uint64_t min, std::uint64_t max,
+                           std::uint64_t bucket_size)
+    : min(min), max(max), bucketSize(bucket_size)
+{
+    VSV_ASSERT(max >= min, "distribution max below min");
+    VSV_ASSERT(bucket_size > 0, "distribution bucket size zero");
+    buckets_.resize((max - min) / bucket_size + 1, 0);
+}
+
+void
+Distribution::sample(std::uint64_t value, std::uint64_t count)
+{
+    samples_ += count;
+    sum += static_cast<double>(value) * static_cast<double>(count);
+    if (value < min) {
+        underflow_ += count;
+    } else if (value > max) {
+        overflow_ += count;
+    } else {
+        buckets_[(value - min) / bucketSize] += count;
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = samples_ = 0;
+    sum = 0.0;
+}
+
+double
+Distribution::mean() const
+{
+    return samples_ == 0 ? 0.0 : sum / static_cast<double>(samples_);
+}
+
+void
+StatRegistry::registerScalar(const std::string &name, const Scalar *stat,
+                             const std::string &desc)
+{
+    VSV_ASSERT(stat != nullptr, "null scalar registered: " + name);
+    VSV_ASSERT(!scalars.count(name), "duplicate scalar stat: " + name);
+    scalars.emplace(name, ScalarEntry{stat, desc});
+}
+
+void
+StatRegistry::registerDistribution(const std::string &name,
+                                   const Distribution *stat,
+                                   const std::string &desc)
+{
+    VSV_ASSERT(stat != nullptr, "null distribution registered: " + name);
+    VSV_ASSERT(!dists.count(name), "duplicate distribution stat: " + name);
+    dists.emplace(name, DistEntry{stat, desc});
+}
+
+double
+StatRegistry::scalarValue(const std::string &name) const
+{
+    auto it = scalars.find(name);
+    if (it == scalars.end())
+        panic("unknown scalar stat: " + name);
+    return it->second.stat->value();
+}
+
+bool
+StatRegistry::hasScalar(const std::string &name) const
+{
+    return scalars.count(name) != 0;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, entry] : scalars) {
+        os << std::left << std::setw(44) << name << std::right
+           << std::setw(18) << std::setprecision(6) << std::fixed
+           << entry.stat->value() << "  # " << entry.desc << '\n';
+    }
+    for (const auto &[name, entry] : dists) {
+        os << name << "  # " << entry.desc << " (samples="
+           << entry.stat->samples() << ", mean=" << entry.stat->mean()
+           << ")\n";
+        const auto &buckets = entry.stat->buckets();
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            if (buckets[i] == 0)
+                continue;
+            os << "  " << name << "::" << entry.stat->bucketLow(i)
+               << ' ' << buckets[i] << '\n';
+        }
+        if (entry.stat->underflow())
+            os << "  " << name << "::underflow "
+               << entry.stat->underflow() << '\n';
+        if (entry.stat->overflow())
+            os << "  " << name << "::overflow "
+               << entry.stat->overflow() << '\n';
+    }
+}
+
+} // namespace vsv

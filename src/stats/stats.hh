@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components own Scalar / Formula / Distribution objects and register
+ * them (by hierarchical dotted name) with a StatRegistry. The harness
+ * dumps the registry after a run. Stats are plain accumulators - no
+ * binning epochs - because every experiment in the paper reports
+ * whole-run aggregates.
+ */
+
+#ifndef VSV_STATS_STATS_HH
+#define VSV_STATS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+/** A monotonically accumulated counter / sum. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+
+    void reset() { value_ = 0.0; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Histogram over a fixed linear bucket range, with under/overflow. */
+class Distribution
+{
+  public:
+    /**
+     * @param min lowest bucketed value
+     * @param max highest bucketed value (inclusive)
+     * @param bucket_size width of each bucket
+     */
+    Distribution(std::uint64_t min, std::uint64_t max,
+                 std::uint64_t bucket_size);
+
+    /** Record one sample. */
+    void sample(std::uint64_t value, std::uint64_t count = 1);
+
+    void reset();
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t bucketLow(std::size_t i) const
+    {
+        return min + i * bucketSize;
+    }
+
+  private:
+    std::uint64_t min;
+    std::uint64_t max;
+    std::uint64_t bucketSize;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum = 0.0;
+};
+
+/**
+ * Registry of named stats; owns nothing, components keep ownership of
+ * their accumulators and must outlive the registry dump.
+ */
+class StatRegistry
+{
+  public:
+    void registerScalar(const std::string &name, const Scalar *stat,
+                        const std::string &desc);
+    void registerDistribution(const std::string &name,
+                              const Distribution *stat,
+                              const std::string &desc);
+
+    /** Look up a registered scalar's current value; panics if absent. */
+    double scalarValue(const std::string &name) const;
+
+    /** True if a scalar with this name exists. */
+    bool hasScalar(const std::string &name) const;
+
+    /** Dump all stats, sorted by name. */
+    void dump(std::ostream &os) const;
+
+  private:
+    struct ScalarEntry
+    {
+        const Scalar *stat;
+        std::string desc;
+    };
+    struct DistEntry
+    {
+        const Distribution *stat;
+        std::string desc;
+    };
+
+    std::map<std::string, ScalarEntry> scalars;
+    std::map<std::string, DistEntry> dists;
+};
+
+} // namespace vsv
+
+#endif // VSV_STATS_STATS_HH

@@ -1,0 +1,289 @@
+#include "controller.hh"
+
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+std::string_view
+vsvStateName(VsvState state)
+{
+    switch (state) {
+      case VsvState::High:          return "high";
+      case VsvState::DownClockDist: return "downClockDist";
+      case VsvState::RampDown:      return "rampDown";
+      case VsvState::Low:           return "low";
+      case VsvState::UpClockDist:   return "upClockDist";
+      case VsvState::RampUp:        return "rampUp";
+      default:                      break;
+    }
+    panic("bad VSV state");
+}
+
+VsvController::VsvController(const VsvConfig &config, PowerModel &power)
+    : config(config),
+      power(power),
+      rail(config.vddHigh, config.slewVoltsPerTick),
+      downFsm(config.down, /*count_zero_issue=*/true),
+      upFsm(config.up, /*count_zero_issue=*/false),
+      stateEnd(maxTick)
+{
+    VSV_ASSERT(config.vddLow < config.vddHigh,
+               "VDDL must be below VDDH");
+    rampTicks = rail.swingTicks(config.vddLow, config.vddHigh);
+    VSV_ASSERT(rampTicks > 0, "zero-length VDD ramp");
+}
+
+void
+VsvController::startDownTransition(Tick now)
+{
+    VSV_ASSERT(state_ == VsvState::High,
+               "down transition outside the high-power mode");
+    downFsm.disarm();
+    ++downCount;
+    enterState(VsvState::DownClockDist, now);
+}
+
+void
+VsvController::startUpTransition(Tick now)
+{
+    VSV_ASSERT(state_ == VsvState::Low,
+               "up transition outside the low-power mode");
+    upFsm.disarm();
+    ++upCount;
+    enterState(VsvState::UpClockDist, now);
+}
+
+void
+VsvController::enterState(VsvState next, Tick now)
+{
+    state_ = next;
+    switch (next) {
+      case VsvState::DownClockDist:
+        // The divider switches now; the slower clock needs 2 ns of
+        // control distribution plus 2 ns of tree propagation before
+        // the leaves see it. Full speed, VDDH meanwhile.
+        stateEnd = now + config.ctrlDistTicks + config.clockTreeTicks;
+        break;
+      case VsvState::RampDown:
+        rail.rampTo(config.vddLow);
+        power.addRampEnergy();
+        stateEnd = now + rampTicks;
+        nextEdge = now;  // first half-speed cycle starts immediately
+        break;
+      case VsvState::Low:
+        stateEnd = maxTick;
+        settleIntoLow(now);
+        break;
+      case VsvState::UpClockDist:
+        stateEnd = now + config.ctrlDistTicks;
+        break;
+      case VsvState::RampUp:
+        rail.rampTo(config.vddHigh);
+        power.addRampEnergy();
+        // The full-speed clock-tree distribution overlaps the last
+        // 2 ns of the ramp (Section 3.4), so no extra time after it.
+        stateEnd = now + rampTicks;
+        break;
+      case VsvState::High:
+        stateEnd = maxTick;
+        settleIntoHigh(now);
+        break;
+      default:
+        panic("bad VSV state transition");
+    }
+}
+
+void
+VsvController::settleIntoLow(Tick now)
+{
+    if (!pendingReturnReplay)
+        return;
+    // One or more demand misses returned while the down transition
+    // was in flight; apply the low-to-high policy as if the (latest)
+    // return had just happened.
+    pendingReturnReplay = false;
+    if (outstandingDemand == 0) {
+        ++immediateUpOnLastReturn;
+        startUpTransition(now);
+        return;
+    }
+    switch (config.upPolicy) {
+      case UpPolicy::FirstR:
+        startUpTransition(now);
+        break;
+      case UpPolicy::LastR:
+        break;
+      case UpPolicy::Fsm:
+        if (!upFsm.armed() && upFsm.arm())
+            startUpTransition(now);
+        break;
+    }
+}
+
+void
+VsvController::settleIntoHigh(Tick now)
+{
+    // A demand miss detected during the up transition could not arm
+    // the down path; if demand misses are still outstanding, treat
+    // re-entry into High as the detection point so the opportunity
+    // is not silently lost.
+    if (outstandingDemand == 0 || !config.enabled)
+        return;
+    if (config.down.threshold == 0) {
+        startDownTransition(now);
+    } else if (!downFsm.armed()) {
+        downFsm.arm();
+    }
+}
+
+bool
+VsvController::beginTick(Tick now)
+{
+    lastTick = now;
+
+    // Advance through any timed phases that end at or before now.
+    while (now >= stateEnd) {
+        const Tick boundary = stateEnd;
+        switch (state_) {
+          case VsvState::DownClockDist:
+            enterState(VsvState::RampDown, boundary);
+            break;
+          case VsvState::RampDown:
+            enterState(VsvState::Low, boundary);
+            break;
+          case VsvState::UpClockDist:
+            enterState(VsvState::RampUp, boundary);
+            break;
+          case VsvState::RampUp:
+            enterState(VsvState::High, boundary);
+            break;
+          default:
+            panic("timed phase in a steady state");
+        }
+    }
+
+    stateTicks[static_cast<std::size_t>(state_)] += 1.0;
+
+    // Drive this tick's pipeline voltage (average across the tick
+    // while ramping, per Section 5.2) and latch-set selection.
+    power.setPipelineVdd(rail.advance());
+    power.setLowPowerPath(lowPowerPath());
+
+    // Pipeline clock: full speed in High/DownClockDist, half speed
+    // everywhere else.
+    const bool full_speed = state_ == VsvState::High ||
+                            state_ == VsvState::DownClockDist;
+    if (full_speed)
+        return true;
+    if (now >= nextEdge) {
+        nextEdge = now + 2;
+        return true;
+    }
+    return false;
+}
+
+void
+VsvController::observeIssueRate(std::uint32_t issued)
+{
+    if (!config.enabled)
+        return;
+
+    if (state_ == VsvState::High && downFsm.armed()) {
+        if (downFsm.observe(issued) == MonitorOutcome::Fired)
+            startDownTransition(lastTick);
+    } else if (state_ == VsvState::Low && upFsm.armed()) {
+        if (upFsm.observe(issued) == MonitorOutcome::Fired)
+            startUpTransition(lastTick);
+    }
+}
+
+void
+VsvController::demandL2MissDetected(Tick when)
+{
+    lastTick = when;
+    ++outstandingDemand;
+    if (!config.enabled || state_ != VsvState::High)
+        return;
+
+    ++detectionsInHigh;
+    if (config.down.threshold == 0) {
+        // No down-FSM: transition on every demand miss (the paper's
+        // "without FSMs" configuration).
+        startDownTransition(when);
+    } else if (!downFsm.armed()) {
+        downFsm.arm();
+    }
+}
+
+void
+VsvController::demandL2MissReturned(Tick when, std::uint32_t outstanding)
+{
+    lastTick = when;
+    // The hierarchy's count is authoritative (it includes demand
+    // escalations of prefetched blocks that had no detection event).
+    outstandingDemand = outstanding;
+    if (!config.enabled)
+        return;
+
+    switch (state_) {
+      case VsvState::Low:
+        ++returnsInLow;
+        if (outstanding == 0) {
+            // Section 4.4: with a single outstanding miss, switch as
+            // soon as it returns - under every policy.
+            ++immediateUpOnLastReturn;
+            startUpTransition(when);
+            return;
+        }
+        switch (config.upPolicy) {
+          case UpPolicy::FirstR:
+            startUpTransition(when);
+            break;
+          case UpPolicy::LastR:
+            break;
+          case UpPolicy::Fsm:
+            if (!upFsm.armed() && upFsm.arm())
+                startUpTransition(when);
+            break;
+        }
+        break;
+
+      case VsvState::DownClockDist:
+      case VsvState::RampDown:
+        pendingReturnReplay = true;
+        break;
+
+      default:
+        break;
+    }
+}
+
+void
+VsvController::regStats(StatRegistry &registry,
+                        const std::string &prefix) const
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(VsvState::NumStates); ++i) {
+        registry.registerScalar(
+            prefix + ".ticks." +
+                std::string(vsvStateName(static_cast<VsvState>(i))),
+            &stateTicks[i], "ticks spent in this state");
+    }
+    registry.registerScalar(prefix + ".downTransitions", &downCount,
+                            "high-to-low transitions started");
+    registry.registerScalar(prefix + ".upTransitions", &upCount,
+                            "low-to-high transitions started");
+    registry.registerScalar(prefix + ".detectionsInHigh",
+                            &detectionsInHigh,
+                            "demand miss detections seen in High");
+    registry.registerScalar(prefix + ".returnsInLow", &returnsInLow,
+                            "demand miss returns seen in Low");
+    registry.registerScalar(prefix + ".lastReturnUps",
+                            &immediateUpOnLastReturn,
+                            "up transitions on the last return");
+    downFsm.regStats(registry, prefix + ".downFsm");
+    upFsm.regStats(registry, prefix + ".upFsm");
+}
+
+} // namespace vsv

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The paper's two issue-rate-monitoring state machines (Section 4).
+ *
+ * down-FSM: armed when a demand L2 miss is detected. For up to
+ * `period` pipeline cycles it watches the issue rate; `threshold`
+ * consecutive zero-issue cycles signal the absence of ILP and fire
+ * the high-to-low transition. The transition may begin as soon as the
+ * threshold is met. A threshold of 0 means "no down-FSM": fire
+ * immediately on the miss.
+ *
+ * up-FSM: armed when a demand L2 miss returns in the low-power mode.
+ * For up to `period` (half-speed) cycles it watches the issue rate;
+ * `threshold` consecutive cycles with at least one instruction issued
+ * signal available ILP and fire the low-to-high transition.
+ *
+ * Both machines are expressed by one class parameterized on the
+ * qualifying condition, since their structure is identical.
+ */
+
+#ifndef VSV_VSV_FSM_HH
+#define VSV_VSV_FSM_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace vsv
+{
+
+/** Configuration of one monitoring FSM. */
+struct IssueMonitorConfig
+{
+    /** Consecutive qualifying cycles required to fire (0 = fire on
+     *  arm, i.e. the FSM is effectively disabled). */
+    std::uint32_t threshold = 3;
+    /** Monitoring period in (full- or half-speed) pipeline cycles. */
+    std::uint32_t period = 10;
+};
+
+/** What an observation did to the machine. */
+enum class MonitorOutcome : std::uint8_t
+{
+    Idle,     ///< not armed
+    Watching, ///< armed, threshold not yet met
+    Fired,    ///< threshold met: start the transition
+    Expired   ///< period elapsed without firing: disarm
+};
+
+/** One issue-rate-monitoring FSM. */
+class IssueMonitorFsm
+{
+  public:
+    /**
+     * @param count_zero_issue true for the down-FSM (counts cycles
+     *        with no issue); false for the up-FSM (counts cycles with
+     *        at least one issue)
+     */
+    IssueMonitorFsm(const IssueMonitorConfig &config, bool count_zero_issue)
+        : config(config), countZeroIssue(count_zero_issue)
+    {
+    }
+
+    /**
+     * Arm the monitor.
+     * @return true when threshold==0, meaning fire immediately
+     */
+    bool
+    arm()
+    {
+        ++arms_;
+        if (config.threshold == 0) {
+            ++fires_;
+            return true;
+        }
+        armed_ = true;
+        cyclesWatched = 0;
+        consecutive = 0;
+        return false;
+    }
+
+    /** Cancel monitoring (e.g. the mode changed underneath us). */
+    void
+    disarm()
+    {
+        armed_ = false;
+    }
+
+    /**
+     * Feed one pipeline cycle's issue count.
+     */
+    MonitorOutcome
+    observe(std::uint32_t issued)
+    {
+        if (!armed_)
+            return MonitorOutcome::Idle;
+
+        const bool qualifies = countZeroIssue ? issued == 0 : issued > 0;
+        consecutive = qualifies ? consecutive + 1 : 0;
+        ++cyclesWatched;
+
+        if (consecutive >= config.threshold) {
+            armed_ = false;
+            ++fires_;
+            return MonitorOutcome::Fired;
+        }
+        if (cyclesWatched >= config.period) {
+            armed_ = false;
+            ++expirations_;
+            return MonitorOutcome::Expired;
+        }
+        return MonitorOutcome::Watching;
+    }
+
+    bool armed() const { return armed_; }
+
+    void
+    regStats(StatRegistry &registry, const std::string &prefix) const
+    {
+        registry.registerScalar(prefix + ".arms", &arms_,
+                                "times the monitor was armed");
+        registry.registerScalar(prefix + ".fires", &fires_,
+                                "times the threshold was met");
+        registry.registerScalar(prefix + ".expirations", &expirations_,
+                                "monitoring periods that elapsed unfired");
+    }
+
+    std::uint64_t fires() const
+    {
+        return static_cast<std::uint64_t>(fires_.value());
+    }
+    std::uint64_t arms() const
+    {
+        return static_cast<std::uint64_t>(arms_.value());
+    }
+
+  private:
+    IssueMonitorConfig config;
+    bool countZeroIssue;
+    bool armed_ = false;
+    std::uint32_t cyclesWatched = 0;
+    std::uint32_t consecutive = 0;
+
+    Scalar arms_;
+    Scalar fires_;
+    Scalar expirations_;
+};
+
+} // namespace vsv
+
+#endif // VSV_VSV_FSM_HH

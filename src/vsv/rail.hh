@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Slew-rate-limited supply rail.
+ *
+ * Section 3.2: dynamic logic stays functional through a voltage
+ * transition only if |dVDD/dt| is bounded; the paper picks a
+ * conservative 0.05 V/ns, so the 1.8 V -> 1.2 V swing takes 12 ns.
+ * The rail reports the average voltage across each 1 ns tick, which
+ * is what the power model uses for ramp cycles (Section 5.2).
+ */
+
+#ifndef VSV_VSV_RAIL_HH
+#define VSV_VSV_RAIL_HH
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace vsv
+{
+
+/** A supply rail ramping linearly between two levels. */
+class VoltageRail
+{
+  public:
+    /**
+     * @param initial starting voltage (volts)
+     * @param slew_rate maximum |dV/dt| in volts per tick (ns)
+     */
+    VoltageRail(double initial, double slew_rate)
+        : voltage_(initial), slewRate(slew_rate), target(initial)
+    {
+        VSV_ASSERT(slew_rate > 0.0, "slew rate must be positive");
+    }
+
+    /** Begin ramping toward `new_target` volts. */
+    void
+    rampTo(double new_target)
+    {
+        target = new_target;
+    }
+
+    /** True once the rail has settled at its target. */
+    bool settled() const { return voltage_ == target; }
+
+    double voltage() const { return voltage_; }
+    double targetVoltage() const { return target; }
+
+    /** Ticks a full swing between lo and hi takes at this slew rate. */
+    std::uint32_t
+    swingTicks(double lo, double hi) const
+    {
+        const double swing = hi - lo;
+        VSV_ASSERT(swing >= 0.0, "inverted swing bounds");
+        return static_cast<std::uint32_t>(swing / slewRate + 0.5);
+    }
+
+    /**
+     * Advance one tick.
+     * @return the average voltage across the tick (for E = C*V^2
+     *         accounting of ramp cycles)
+     */
+    double
+    advance()
+    {
+        const double start = voltage_;
+        if (voltage_ < target)
+            voltage_ = std::min(target, voltage_ + slewRate);
+        else if (voltage_ > target)
+            voltage_ = std::max(target, voltage_ - slewRate);
+        return 0.5 * (start + voltage_);
+    }
+
+  private:
+    double voltage_;
+    double slewRate;
+    double target;
+};
+
+} // namespace vsv
+
+#endif // VSV_VSV_RAIL_HH

@@ -1,0 +1,156 @@
+#include "trace.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace vsv
+{
+
+namespace
+{
+
+constexpr char traceMagic[4] = {'V', 'S', 'V', 'T'};
+constexpr std::uint32_t traceVersion = 1;
+
+struct TraceHeader
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+};
+static_assert(sizeof(TraceHeader) == 16, "trace header layout drifted");
+
+TraceRecord
+encode(const MicroOp &op)
+{
+    TraceRecord rec{};
+    rec.cls = static_cast<std::uint8_t>(op.cls);
+    rec.brKind = static_cast<std::uint8_t>(op.brKind);
+    rec.taken = op.taken ? 1 : 0;
+    rec.depDist1 = op.depDist1;
+    rec.depDist2 = op.depDist2;
+    rec.pc = op.pc;
+    rec.addr = op.addr;
+    rec.target = op.target;
+    return rec;
+}
+
+MicroOp
+decode(const TraceRecord &rec)
+{
+    MicroOp op;
+    VSV_ASSERT(rec.cls < static_cast<std::uint8_t>(OpClass::NumOpClasses),
+               "trace record with bad op class");
+    op.cls = static_cast<OpClass>(rec.cls);
+    op.brKind = static_cast<BranchKind>(rec.brKind);
+    op.taken = rec.taken != 0;
+    op.depDist1 = rec.depDist1;
+    op.depDist2 = rec.depDist2;
+    op.pc = rec.pc;
+    op.addr = rec.addr;
+    op.target = rec.target;
+    return op;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open trace file for writing: " + path);
+    // Placeholder header; the count is patched in close().
+    TraceHeader header{};
+    std::memcpy(header.magic, traceMagic, 4);
+    header.version = traceVersion;
+    header.count = 0;
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1)
+        fatal("cannot write trace header: " + path);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const MicroOp &op)
+{
+    VSV_ASSERT(file != nullptr, "append to a closed trace");
+    const TraceRecord rec = encode(op);
+    if (std::fwrite(&rec, sizeof(rec), 1, file) != 1)
+        fatal("trace write failed (disk full?)");
+    ++count;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file)
+        return;
+    TraceHeader header{};
+    std::memcpy(header.magic, traceMagic, 4);
+    header.version = traceVersion;
+    header.count = count;
+    std::fseek(file, 0, SEEK_SET);
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1)
+        fatal("trace header rewrite failed");
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path, bool loop)
+    : path(path), loop(loop)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file: " + path);
+
+    TraceHeader header{};
+    if (std::fread(&header, sizeof(header), 1, file) != 1)
+        fatal("trace file too short: " + path);
+    if (std::memcmp(header.magic, traceMagic, 4) != 0)
+        fatal("not a VSV trace file: " + path);
+    if (header.version != traceVersion) {
+        fatal("unsupported trace version " +
+              std::to_string(header.version) + ": " + path);
+    }
+    if (header.count == 0)
+        fatal("empty trace file: " + path);
+    total = header.count;
+    remaining = total;
+}
+
+TraceReader::~TraceReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+TraceReader::rewindToFirstRecord()
+{
+    std::fseek(file, sizeof(TraceHeader), SEEK_SET);
+    remaining = total;
+}
+
+MicroOp
+TraceReader::next()
+{
+    if (remaining == 0) {
+        if (!loop) {
+            fatal("trace exhausted after " + std::to_string(consumed) +
+                  " ops: " + path);
+        }
+        rewindToFirstRecord();
+    }
+    TraceRecord rec{};
+    if (std::fread(&rec, sizeof(rec), 1, file) != 1)
+        fatal("trace read failed (truncated file?): " + path);
+    --remaining;
+    ++consumed;
+    return decode(rec);
+}
+
+} // namespace vsv

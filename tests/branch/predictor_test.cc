@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests of the hybrid branch predictor, BTB and RAS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+
+namespace vsv
+{
+namespace
+{
+
+MicroOp
+condBranch(Addr pc, bool taken, Addr target = 0x500000)
+{
+    MicroOp op;
+    op.cls = OpClass::Branch;
+    op.brKind = BranchKind::Cond;
+    op.pc = pc;
+    op.taken = taken;
+    op.target = target;
+    return op;
+}
+
+TEST(BranchPredictorTest, LearnsAlwaysTakenBranch)
+{
+    BranchPredictor bp;
+    const MicroOp op = condBranch(0x1000, true);
+
+    // Train.
+    for (int i = 0; i < 10; ++i) {
+        const BranchPrediction pred = bp.predict(op);
+        bp.resolve(op, pred);
+    }
+    // After warmup the branch should predict correctly.
+    const BranchPrediction pred = bp.predict(op);
+    EXPECT_TRUE(pred.predTaken);
+    EXPECT_TRUE(pred.btbHit);
+    EXPECT_EQ(pred.predTarget, op.target);
+    EXPECT_FALSE(bp.resolve(op, pred));
+}
+
+TEST(BranchPredictorTest, LearnsAlwaysNotTakenBranch)
+{
+    BranchPredictor bp;
+    const MicroOp op = condBranch(0x2000, false);
+    for (int i = 0; i < 10; ++i) {
+        const BranchPrediction pred = bp.predict(op);
+        bp.resolve(op, pred);
+    }
+    const BranchPrediction pred = bp.predict(op);
+    EXPECT_FALSE(pred.predTaken);
+    EXPECT_FALSE(bp.resolve(op, pred));
+}
+
+TEST(BranchPredictorTest, LearnsAlternatingPatternViaGshare)
+{
+    BranchPredictor bp;
+    // A strict alternation is history-predictable but bimodal-hostile.
+    int wrong = 0;
+    for (int i = 0; i < 400; ++i) {
+        const MicroOp op = condBranch(0x3000, i % 2 == 0);
+        const BranchPrediction pred = bp.predict(op);
+        if (bp.resolve(op, pred) && i >= 200)
+            ++wrong;
+    }
+    // The second half should be essentially perfect.
+    EXPECT_LE(wrong, 4);
+}
+
+TEST(BranchPredictorTest, BtbColdMissIsTargetMispredict)
+{
+    BranchPredictor bp;
+    MicroOp op = condBranch(0x4000, true);
+    // Force a taken prediction by pre-training direction only would
+    // still insert the BTB; instead check the very first resolve on a
+    // taken branch whose prediction was taken (cold counters start
+    // weakly not-taken at 1, so first prediction is not-taken; that
+    // is a direction miss). Either way: cold => mispredict.
+    const BranchPrediction pred = bp.predict(op);
+    EXPECT_TRUE(bp.resolve(op, pred));
+    EXPECT_TRUE(BranchPredictor::wouldMispredict(op, pred));
+}
+
+TEST(BranchPredictorTest, WouldMispredictMatchesResolve)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 500; ++i) {
+        const Addr pc = 0x1000 + (i % 17) * 4;
+        const bool taken = (i * 7 % 13) < 6;
+        const MicroOp op = condBranch(pc, taken, 0x600000 + pc);
+        const BranchPrediction pred = bp.predict(op);
+        const bool would = BranchPredictor::wouldMispredict(op, pred);
+        const bool did = bp.resolve(op, pred);
+        EXPECT_EQ(would, did) << "iteration " << i;
+    }
+}
+
+TEST(BranchPredictorTest, RasPredictsReturnTargets)
+{
+    BranchPredictor bp;
+
+    MicroOp call;
+    call.cls = OpClass::Branch;
+    call.brKind = BranchKind::Call;
+    call.pc = 0x7000;
+    call.taken = true;
+    call.target = 0x9000;
+
+    MicroOp ret;
+    ret.cls = OpClass::Branch;
+    ret.brKind = BranchKind::Return;
+    ret.pc = 0x9100;
+    ret.taken = true;
+    ret.target = call.pc + 4;  // return to the call's fall-through
+
+    const BranchPrediction call_pred = bp.predict(call);
+    bp.resolve(call, call_pred);
+
+    const BranchPrediction ret_pred = bp.predict(ret);
+    EXPECT_EQ(ret_pred.predTarget, call.pc + 4);
+    EXPECT_FALSE(BranchPredictor::wouldMispredict(ret, ret_pred));
+}
+
+TEST(BranchPredictorTest, RasDepthWrapsWithoutCrashing)
+{
+    BranchPredictorConfig config;
+    config.rasEntries = 4;
+    BranchPredictor bp(config);
+
+    MicroOp call;
+    call.cls = OpClass::Branch;
+    call.brKind = BranchKind::Call;
+    call.taken = true;
+    for (int i = 0; i < 10; ++i) {
+        call.pc = 0x7000 + i * 16;
+        call.target = 0x9000;
+        bp.resolve(call, bp.predict(call));
+    }
+    // Only the innermost 4 returns can match.
+    MicroOp ret;
+    ret.cls = OpClass::Branch;
+    ret.brKind = BranchKind::Return;
+    ret.taken = true;
+    for (int i = 9; i >= 6; --i) {
+        ret.pc = 0xa000;
+        ret.target = 0x7000 + i * 16 + 4;
+        const BranchPrediction pred = bp.predict(ret);
+        EXPECT_EQ(pred.predTarget, ret.target) << i;
+    }
+}
+
+TEST(BranchPredictorTest, StatsCount)
+{
+    BranchPredictor bp;
+    const MicroOp op = condBranch(0x100, true);
+    for (int i = 0; i < 5; ++i)
+        bp.resolve(op, bp.predict(op));
+    EXPECT_EQ(bp.lookups(), 5u);
+    EXPECT_GT(bp.mispredicts(), 0u);   // cold start misses
+    EXPECT_LT(bp.mispredicts(), 5u);   // but it learns
+}
+
+TEST(BranchPredictorTest, UnpredictableBranchMispredictsOften)
+{
+    BranchPredictor bp;
+    int wrong = 0;
+    std::uint64_t lcg = 12345;
+    for (int i = 0; i < 2000; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        const MicroOp op = condBranch(0x8000, (lcg >> 33) & 1);
+        if (bp.resolve(op, bp.predict(op)))
+            ++wrong;
+    }
+    // Random outcomes: mispredict rate should be near 50%.
+    EXPECT_GT(wrong, 700);
+    EXPECT_LT(wrong, 1300);
+}
+
+} // namespace
+} // namespace vsv

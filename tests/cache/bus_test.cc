@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tests of the split-transaction memory bus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/bus.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(BusTest, AddressPacketTakesOneSlot)
+{
+    MemoryBus bus;  // 32B wide, 4-tick occupancy
+    EXPECT_EQ(bus.reserve(100, 0), 104u);
+    EXPECT_EQ(bus.freeAt(), 104u);
+}
+
+TEST(BusTest, PayloadSlotsScaleWithWidth)
+{
+    MemoryBus bus;
+    // 64 bytes over a 32-byte bus = 2 slots = 8 ticks.
+    EXPECT_EQ(bus.reserve(0, 64), 8u);
+    // 33 bytes round up to 2 slots as well.
+    MemoryBus bus2;
+    EXPECT_EQ(bus2.reserve(0, 33), 8u);
+    // 32 bytes is one slot.
+    MemoryBus bus3;
+    EXPECT_EQ(bus3.reserve(0, 32), 4u);
+}
+
+TEST(BusTest, BackToBackTransactionsQueue)
+{
+    MemoryBus bus;
+    EXPECT_EQ(bus.reserve(10, 0), 14u);
+    // Second request at the same time must wait for the first.
+    EXPECT_EQ(bus.reserve(10, 0), 18u);
+    // A later request after the bus freed starts immediately.
+    EXPECT_EQ(bus.reserve(30, 0), 34u);
+}
+
+TEST(BusTest, CustomConfig)
+{
+    MemoryBus bus(BusConfig{16, 2});
+    // 64B over 16B bus = 4 slots x 2 ticks = 8.
+    EXPECT_EQ(bus.reserve(0, 64), 8u);
+}
+
+} // namespace
+} // namespace vsv

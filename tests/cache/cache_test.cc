@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests of the set-associative cache tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace vsv
+{
+namespace
+{
+
+CacheConfig
+tinyCache()
+{
+    // 4 sets x 2 ways x 32B = 256B.
+    return {"tiny", 256, 2, 32, 2};
+}
+
+TEST(CacheTest, MissThenFillThenHit)
+{
+    Cache cache(tinyCache());
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    cache.fill(0x1000, false);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x101f, false).hit);   // same block
+    EXPECT_FALSE(cache.access(0x1020, false).hit);  // next block
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed)
+{
+    Cache cache(tinyCache());
+    // Three blocks mapping to the same set (set stride = 4*32=128B).
+    const Addr a = 0x0000, b = 0x0080 * 4, c = 0x0080 * 8;
+    ASSERT_EQ(cache.setIndex(a), cache.setIndex(b));
+    ASSERT_EQ(cache.setIndex(a), cache.setIndex(c));
+
+    cache.fill(a, false);
+    cache.fill(b, false);
+    cache.access(a, false);  // make b the LRU way
+    const CacheVictim victim = cache.fill(c, false);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.blockAddr, b);
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST(CacheTest, WriteHitSetsDirtyAndVictimReportsIt)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x0000, false);
+    cache.access(0x0000, true);  // dirty it
+    cache.fill(0x0200, false);   // same set (stride 128, 0x200=4 sets)
+    const CacheVictim victim = cache.fill(0x0400, false);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.blockAddr, 0x0000u);
+    EXPECT_TRUE(victim.dirty);
+}
+
+TEST(CacheTest, FillWithDirtyFlag)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x0000, true);
+    cache.fill(0x0200, false);
+    const CacheVictim victim = cache.fill(0x0400, false);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.dirty);
+}
+
+TEST(CacheTest, ProbeHasNoLruSideEffect)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x0000, false);
+    cache.fill(0x0200, false);
+    // Probing must not refresh 0x0000's recency.
+    EXPECT_TRUE(cache.probe(0x0000));
+    const CacheVictim victim = cache.fill(0x0400, false);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.blockAddr, 0x0000u);
+}
+
+TEST(CacheTest, InvalidateRemovesBlock)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x1000, false);
+    cache.invalidate(0x1000);
+    EXPECT_FALSE(cache.probe(0x1000));
+}
+
+TEST(CacheTest, RefillOfResidentBlockEvictsNothing)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x0000, false);
+    const CacheVictim victim = cache.fill(0x0000, true);
+    EXPECT_FALSE(victim.valid);
+    // Dirty state is sticky across refills.
+    cache.fill(0x0200, false);
+    const CacheVictim v2 = cache.fill(0x0400, false);
+    ASSERT_TRUE(v2.valid);
+    EXPECT_TRUE(v2.dirty);
+}
+
+TEST(CacheTest, StatsCountHitsAndMisses)
+{
+    Cache cache(tinyCache());
+    cache.access(0x0, false);
+    cache.fill(0x0, false);
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(CacheTest, Table1GeometriesConstruct)
+{
+    Cache l1(CacheConfig{"l1", 64 * 1024, 2, 32, 2});
+    EXPECT_EQ(l1.numSets(), 1024u);
+    Cache l2(CacheConfig{"l2", 2 * 1024 * 1024, 8, 64, 12});
+    EXPECT_EQ(l2.numSets(), 4096u);
+}
+
+TEST(CacheTest, SetIndexUsesBlockBits)
+{
+    Cache cache(tinyCache());
+    EXPECT_EQ(cache.setIndex(0x00), 0u);
+    EXPECT_EQ(cache.setIndex(0x20), 1u);
+    EXPECT_EQ(cache.setIndex(0x60), 3u);
+    EXPECT_EQ(cache.setIndex(0x80), 0u);  // wraps at 4 sets
+}
+
+} // namespace
+} // namespace vsv

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Timing and event tests of the full memory hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "power/model.hh"
+
+namespace vsv
+{
+namespace
+{
+
+/** Records the VSV trigger events. */
+class RecordingListener : public MissListener
+{
+  public:
+    struct Event
+    {
+        bool detected;  ///< detected vs returned
+        Tick when;
+        std::uint32_t outstanding;
+    };
+
+    void
+    demandL2MissDetected(Tick when) override
+    {
+        events.push_back({true, when, 0});
+    }
+
+    void
+    demandL2MissReturned(Tick when, std::uint32_t outstanding) override
+    {
+        events.push_back({false, when, outstanding});
+    }
+
+    std::vector<Event> events;
+};
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest() : power(), mem(HierarchyConfig{}, power)
+    {
+        mem.setMissListener(&listener);
+    }
+
+    /** Run the event queue forward to `until`. */
+    void
+    runTo(Tick until)
+    {
+        for (Tick t = 0; t <= until; ++t)
+            mem.service(t);
+    }
+
+    PowerModel power;
+    MemoryHierarchy mem;
+    RecordingListener listener;
+};
+
+TEST_F(HierarchyTest, L1HitIsImmediate)
+{
+    mem.dataAccess(0x1000, false, false, 0, {});  // warm the block
+    runTo(300);
+
+    const MemAccessOutcome outcome =
+        mem.dataAccess(0x1000, false, false, 301, {});
+    EXPECT_TRUE(outcome.accepted);
+    EXPECT_TRUE(outcome.immediate);
+    EXPECT_EQ(outcome.latencyCycles, 2u);
+}
+
+TEST_F(HierarchyTest, L2MissTimeline)
+{
+    std::optional<Tick> completed;
+    const MemAccessOutcome outcome = mem.dataAccess(
+        0x40000000, false, false, 0, [&](Tick when) { completed = when; });
+    EXPECT_TRUE(outcome.accepted);
+    EXPECT_FALSE(outcome.immediate);
+
+    runTo(400);
+    // Timeline: L1 lookup (2) -> L2 hit latency / miss detection (12)
+    // -> request bus (4) -> DRAM (100) -> response bus (64B = 8).
+    ASSERT_TRUE(completed.has_value());
+    EXPECT_EQ(*completed, 2u + 12u + 4u + 100u + 8u);
+
+    // The detection event fired at L1 latency + L2 hit latency.
+    ASSERT_GE(listener.events.size(), 2u);
+    EXPECT_TRUE(listener.events[0].detected);
+    EXPECT_EQ(listener.events[0].when, 14u);
+    EXPECT_FALSE(listener.events[1].detected);
+    EXPECT_EQ(listener.events[1].when, *completed);
+    EXPECT_EQ(listener.events[1].outstanding, 0u);
+}
+
+TEST_F(HierarchyTest, L2HitCompletesAfterHitLatency)
+{
+    // First trip brings the block into L1+L2; evict it from L1 by
+    // filling conflicting blocks, then re-access: L2 hit.
+    std::optional<Tick> completed;
+    mem.dataAccess(0x40000000, false, false, 0,
+                   [&](Tick when) { completed = when; });
+    runTo(400);
+    ASSERT_TRUE(completed.has_value());
+
+    // Two more blocks in the same L1 set (set stride = 32KB for the
+    // 64KB 2-way 32B L1) evict the original.
+    std::optional<Tick> c2, c3, c4;
+    mem.dataAccess(0x40000000 + 32 * 1024, false, false, 401,
+                   [&](Tick when) { c2 = when; });
+    runTo(800);
+    mem.dataAccess(0x40000000 + 64 * 1024, false, false, 801,
+                   [&](Tick when) { c3 = when; });
+    runTo(1200);
+    ASSERT_TRUE(c2 && c3);
+
+    const Tick start = 1201;
+    const MemAccessOutcome outcome = mem.dataAccess(
+        0x40000000, false, false, start, [&](Tick when) { c4 = when; });
+    EXPECT_TRUE(outcome.accepted);
+    EXPECT_FALSE(outcome.immediate);
+    runTo(1400);
+    ASSERT_TRUE(c4.has_value());
+    // L1 lookup (2) + L2 hit (12), no memory trip.
+    EXPECT_EQ(*c4, start + 2 + 12);
+}
+
+TEST_F(HierarchyTest, MissesToSameBlockMerge)
+{
+    int completions = 0;
+    mem.dataAccess(0x40000000, false, false, 0,
+                   [&](Tick) { ++completions; });
+    mem.dataAccess(0x40000008, false, false, 1,
+                   [&](Tick) { ++completions; });
+    runTo(400);
+    EXPECT_EQ(completions, 2);
+    // Only one demand L2 miss was detected.
+    int detections = 0;
+    for (const auto &ev : listener.events) {
+        if (ev.detected)
+            ++detections;
+    }
+    EXPECT_EQ(detections, 1);
+    EXPECT_EQ(mem.demandL2MissCount(), 1u);
+}
+
+TEST_F(HierarchyTest, PrefetchMissDoesNotNotifyListener)
+{
+    mem.dataAccess(0x40000000, false, /*is_prefetch=*/true, 0, {});
+    runTo(400);
+    EXPECT_TRUE(listener.events.empty());
+    EXPECT_EQ(mem.demandL2MissCount(), 0u);
+    // But the block did arrive.
+    const MemAccessOutcome outcome =
+        mem.dataAccess(0x40000000, false, false, 401, {});
+    EXPECT_TRUE(outcome.immediate);
+}
+
+TEST_F(HierarchyTest, StoreMissCountsAsDemand)
+{
+    mem.dataAccess(0x40000000, true, false, 0, {});
+    runTo(400);
+    EXPECT_EQ(mem.demandL2MissCount(), 1u);
+    ASSERT_GE(listener.events.size(), 2u);
+    EXPECT_TRUE(listener.events[0].detected);
+}
+
+TEST_F(HierarchyTest, OutstandingCountTracksMultipleMisses)
+{
+    // Two misses to different blocks; returns report the remaining
+    // outstanding count.
+    mem.dataAccess(0x40000000, false, false, 0, {});
+    mem.dataAccess(0x50000000, false, false, 0, {});
+    runTo(500);
+
+    std::vector<std::uint32_t> outstanding;
+    for (const auto &ev : listener.events) {
+        if (!ev.detected)
+            outstanding.push_back(ev.outstanding);
+    }
+    ASSERT_EQ(outstanding.size(), 2u);
+    EXPECT_EQ(outstanding[0], 1u);
+    EXPECT_EQ(outstanding[1], 0u);
+}
+
+TEST_F(HierarchyTest, MshrFullRejectsAccess)
+{
+    HierarchyConfig config;
+    config.l1dMshrs = 2;
+    MemoryHierarchy small(config, power);
+
+    EXPECT_TRUE(small.dataAccess(0x40000000, false, false, 0, {}).accepted);
+    EXPECT_TRUE(small.dataAccess(0x40001000, false, false, 0, {}).accepted);
+    const MemAccessOutcome third =
+        small.dataAccess(0x40002000, false, false, 0, {});
+    EXPECT_FALSE(third.accepted);
+}
+
+TEST_F(HierarchyTest, QuiescentAfterAllEventsDrain)
+{
+    EXPECT_TRUE(mem.quiescent());
+    mem.dataAccess(0x40000000, false, false, 0, {});
+    EXPECT_FALSE(mem.quiescent());
+    runTo(400);
+    EXPECT_TRUE(mem.quiescent());
+}
+
+TEST_F(HierarchyTest, InstFetchMissStallsAndFills)
+{
+    std::optional<Tick> filled;
+    const MemAccessOutcome outcome = mem.instFetch(
+        0x400000, 0, [&](Tick when) { filled = when; });
+    EXPECT_TRUE(outcome.accepted);
+    EXPECT_FALSE(outcome.immediate);
+    runTo(400);
+    ASSERT_TRUE(filled.has_value());
+
+    const MemAccessOutcome again = mem.instFetch(0x400000, 401, {});
+    EXPECT_TRUE(again.immediate);
+    EXPECT_EQ(again.latencyCycles, 2u);
+}
+
+TEST_F(HierarchyTest, WarmupAccessesFillWithoutEvents)
+{
+    mem.warmupDataAccess(0x40000000, false, 0);
+    mem.warmupInstAccess(0x400000, 0);
+    EXPECT_TRUE(mem.quiescent());
+    EXPECT_TRUE(listener.events.empty());
+
+    EXPECT_TRUE(mem.dataAccess(0x40000000, false, false, 1, {}).immediate);
+    EXPECT_TRUE(mem.instFetch(0x400000, 1, {}).immediate);
+}
+
+} // namespace
+} // namespace vsv

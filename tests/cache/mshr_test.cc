@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests of the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(MshrTest, AllocateFindRelease)
+{
+    MshrFile mshrs("t", 4);
+    EXPECT_EQ(mshrs.find(0x100), nullptr);
+
+    MshrEntry *entry = mshrs.allocate(0x100, 5);
+    ASSERT_NE(entry, nullptr);
+    entry->demand = true;
+    EXPECT_EQ(mshrs.inUse(), 1u);
+    EXPECT_EQ(mshrs.find(0x100), entry);
+
+    const MshrEntry released = mshrs.release(0x100);
+    EXPECT_TRUE(released.demand);
+    EXPECT_EQ(mshrs.inUse(), 0u);
+    EXPECT_EQ(mshrs.find(0x100), nullptr);
+}
+
+TEST(MshrTest, FullFileRejectsAllocation)
+{
+    MshrFile mshrs("t", 2);
+    EXPECT_NE(mshrs.allocate(0x100, 0), nullptr);
+    EXPECT_NE(mshrs.allocate(0x200, 0), nullptr);
+    EXPECT_TRUE(mshrs.full());
+    EXPECT_EQ(mshrs.allocate(0x300, 0), nullptr);
+
+    mshrs.release(0x100);
+    EXPECT_FALSE(mshrs.full());
+    EXPECT_NE(mshrs.allocate(0x300, 0), nullptr);
+}
+
+TEST(MshrTest, TargetsAccumulateAndReturn)
+{
+    MshrFile mshrs("t", 2);
+    MshrEntry *entry = mshrs.allocate(0x100, 0);
+    int fired = 0;
+    entry->targets.push_back([&](Tick) { ++fired; });
+    entry->targets.push_back([&](Tick) { ++fired; });
+
+    MshrEntry released = mshrs.release(0x100);
+    for (auto &t : released.targets)
+        t(10);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(MshrTest, DemandOutstandingCountsOnlyDemandEntries)
+{
+    MshrFile mshrs("t", 4);
+    mshrs.allocate(0x100, 0)->demand = true;
+    mshrs.allocate(0x200, 0)->demand = false;
+    mshrs.allocate(0x300, 0)->demand = true;
+    EXPECT_EQ(mshrs.demandOutstanding(), 2u);
+    mshrs.release(0x100);
+    EXPECT_EQ(mshrs.demandOutstanding(), 1u);
+}
+
+TEST(MshrTest, DuplicateAllocationDies)
+{
+    MshrFile mshrs("t", 4);
+    mshrs.allocate(0x100, 0);
+    EXPECT_DEATH(mshrs.allocate(0x100, 0), "duplicate");
+}
+
+TEST(MshrTest, ReleaseUntrackedDies)
+{
+    MshrFile mshrs("t", 4);
+    EXPECT_DEATH(mshrs.release(0x999), "untracked");
+}
+
+} // namespace
+} // namespace vsv

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests of the key-value configuration store and CLI parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(ConfigTest, TypedGettersAndFallbacks)
+{
+    Config config;
+    config.set("i", "42");
+    config.set("u", "18446744073709551615");
+    config.set("d", "2.5");
+    config.set("b", "true");
+    config.set("s", "hello");
+
+    EXPECT_EQ(config.getInt("i", 0), 42);
+    EXPECT_EQ(config.getUInt("u", 0), 18446744073709551615ULL);
+    EXPECT_DOUBLE_EQ(config.getDouble("d", 0.0), 2.5);
+    EXPECT_TRUE(config.getBool("b", false));
+    EXPECT_EQ(config.getString("s", ""), "hello");
+
+    EXPECT_EQ(config.getInt("missing", -7), -7);
+    EXPECT_DOUBLE_EQ(config.getDouble("missing", 1.5), 1.5);
+    EXPECT_FALSE(config.getBool("missing", false));
+}
+
+TEST(ConfigTest, BoolSpellings)
+{
+    Config config;
+    for (const char *t : {"true", "1", "yes", "on"}) {
+        config.set("k", t);
+        EXPECT_TRUE(config.getBool("k", false)) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off"}) {
+        config.set("k", f);
+        EXPECT_FALSE(config.getBool("k", true)) << f;
+    }
+}
+
+TEST(ConfigTest, ParseArgsSplitsFlagsAndPositionals)
+{
+    const char *argv[] = {"prog", "--alpha=1", "pos1", "--flag",
+                          "--name=vsv", "pos2"};
+    Config config;
+    const auto positional = config.parseArgs(6, argv);
+
+    ASSERT_EQ(positional.size(), 2u);
+    EXPECT_EQ(positional[0], "pos1");
+    EXPECT_EQ(positional[1], "pos2");
+    EXPECT_EQ(config.getInt("alpha", 0), 1);
+    EXPECT_TRUE(config.getBool("flag", false));
+    EXPECT_EQ(config.getString("name", ""), "vsv");
+}
+
+TEST(ConfigTest, UnusedKeysTracksUnreadOnes)
+{
+    Config config;
+    config.set("used", "1");
+    config.set("unused", "2");
+    (void)config.getInt("used", 0);
+
+    const auto unused = config.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "unused");
+}
+
+TEST(ConfigTest, HasDoesNotConsume)
+{
+    Config config;
+    config.set("k", "1");
+    EXPECT_TRUE(config.has("k"));
+    EXPECT_EQ(config.unusedKeys().size(), 1u);
+}
+
+} // namespace
+} // namespace vsv

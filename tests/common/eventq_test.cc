@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests of the tick-ordered event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/eventq.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(EventQueueTest, FiresInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Tick) { order.push_back(3); });
+    q.schedule(10, [&](Tick) { order.push_back(1); });
+    q.schedule(20, [&](Tick) { order.push_back(2); });
+
+    q.serviceUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTickFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&, i](Tick) { order.push_back(i); });
+
+    q.serviceUntil(5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ServiceUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&](Tick) { ++fired; });
+    q.schedule(11, [&](Tick) { ++fired; });
+
+    q.serviceUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.nextEventTick(), 11u);
+    q.serviceUntil(11);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CallbackReceivesScheduledTick)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(42, [&](Tick when) { seen = when; });
+    q.serviceUntil(100);
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueueTest, EventsMayScheduleSameTickEvents)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(7, [&](Tick when) {
+        order.push_back(1);
+        q.schedule(when, [&](Tick) { order.push_back(2); });
+    });
+    q.serviceUntil(7);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, NextEventTickOnEmptyIsMax)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventTick(), maxTick);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+} // namespace
+} // namespace vsv

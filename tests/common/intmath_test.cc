@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests of integer math helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(IntMathTest, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 63));
+    EXPECT_FALSE(isPowerOf2((1ULL << 63) + 1));
+}
+
+TEST(IntMathTest, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+}
+
+TEST(IntMathTest, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(IntMathTest, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(64, 32), 2u);
+}
+
+TEST(IntMathTest, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundDown(7, 8), 0u);
+    EXPECT_EQ(roundDown(15, 8), 8u);
+    EXPECT_EQ(roundDown(16, 8), 16u);
+}
+
+} // namespace
+} // namespace vsv

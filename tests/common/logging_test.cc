@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tests of the error-reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(LoggingTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("broken invariant"), "broken invariant");
+}
+
+TEST(LoggingTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(LoggingTest, AssertMacroPassesAndFails)
+{
+    VSV_ASSERT(1 + 1 == 2, "arithmetic works");  // must not fire
+    EXPECT_DEATH(VSV_ASSERT(false, "assertion text"), "assertion text");
+}
+
+TEST(LoggingTest, AssertMessageIncludesLocation)
+{
+    EXPECT_DEATH(VSV_ASSERT(false, "located"), "logging_test.cc");
+}
+
+TEST(LoggingTest, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning");
+    inform("just information");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace vsv

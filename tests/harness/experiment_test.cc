@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests of the experiment plumbing: option construction, comparison
+ * math, canonical VSV configurations and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(ExperimentTest, MakeOptionsDefaultsToBaseline)
+{
+    const SimulationOptions options = makeOptions("gzip", false);
+    EXPECT_FALSE(options.vsv.enabled);
+    EXPECT_FALSE(options.timekeeping);
+    EXPECT_EQ(options.profile.name, "gzip");
+    EXPECT_EQ(options.measureInstructions, 1000000u);
+}
+
+TEST(ExperimentTest, MakeOptionsPicksProfileTkWarmup)
+{
+    const SimulationOptions tk = makeOptions("ammp", true);
+    EXPECT_EQ(tk.warmupInstructions,
+              tk.profile.tkWarmupInstructions);
+    // An explicit warmup always wins.
+    const SimulationOptions forced = makeOptions("ammp", true, 0, 1234);
+    EXPECT_EQ(forced.warmupInstructions, 1234u);
+    // Non-TK runs use the short default.
+    const SimulationOptions base = makeOptions("ammp", false);
+    EXPECT_LT(base.warmupInstructions, tk.warmupInstructions);
+}
+
+TEST(ExperimentTest, CanonicalVsvConfigs)
+{
+    const VsvConfig fsm = fsmVsvConfig();
+    EXPECT_TRUE(fsm.enabled);
+    EXPECT_EQ(fsm.down.threshold, 3u);
+    EXPECT_EQ(fsm.down.period, 10u);
+    EXPECT_EQ(fsm.upPolicy, UpPolicy::Fsm);
+    EXPECT_EQ(fsm.up.threshold, 3u);
+
+    const VsvConfig no_fsm = noFsmVsvConfig();
+    EXPECT_TRUE(no_fsm.enabled);
+    EXPECT_EQ(no_fsm.down.threshold, 0u);
+    EXPECT_EQ(no_fsm.upPolicy, UpPolicy::FirstR);
+}
+
+TEST(ExperimentTest, ComparisonMathNormalizesPerInstruction)
+{
+    SimulationResult base;
+    base.instructions = 1000;
+    base.ticks = 10000;
+    base.avgPowerW = 50.0;
+
+    SimulationResult vsv;
+    vsv.instructions = 1004;   // commit-width overshoot
+    vsv.ticks = 11044;         // 1.1x per-instruction time
+    vsv.avgPowerW = 40.0;
+
+    const VsvComparison cmp = makeComparison(base, vsv);
+    EXPECT_NEAR(cmp.perfDegradationPct, 10.0, 0.1);
+    EXPECT_NEAR(cmp.powerSavingsPct, 20.0, 1e-9);
+}
+
+TEST(ExperimentTest, ComparisonOfIdenticalRunsIsZero)
+{
+    SimulationResult r;
+    r.instructions = 500;
+    r.ticks = 2000;
+    r.avgPowerW = 33.0;
+    const VsvComparison cmp = makeComparison(r, r);
+    EXPECT_DOUBLE_EQ(cmp.perfDegradationPct, 0.0);
+    EXPECT_DOUBLE_EQ(cmp.powerSavingsPct, 0.0);
+}
+
+TEST(TextTableTest, AlignsColumnsAndFormatsNumbers)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"a", TextTable::num(1.234, 2)});
+    table.addRow({"longer-name", TextTable::num(-5.6, 1)});
+
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("longer-name"), std::string::npos);
+    EXPECT_NE(text.find("1.23"), std::string::npos);
+    EXPECT_NE(text.find("-5.6"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, NumPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+    EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTableTest, RowWidthMismatchDies)
+{
+    TextTable table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "width");
+}
+
+TEST(ExperimentTest, UnknownBenchmarkDies)
+{
+    EXPECT_EXIT(makeOptions("quake3", false),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+} // namespace
+} // namespace vsv

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests of the micro-op model and functional-unit timing tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/funcunits.hh"
+#include "isa/microop.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(IsaTest, EveryOpClassHasANameAndTiming)
+{
+    for (std::uint8_t i = 0;
+         i < static_cast<std::uint8_t>(OpClass::NumOpClasses); ++i) {
+        const auto cls = static_cast<OpClass>(i);
+        EXPECT_FALSE(opClassName(cls).empty());
+        const OpTiming timing = opTiming(cls);
+        EXPECT_GE(timing.latency, 1u);
+        EXPECT_LT(static_cast<std::size_t>(timing.pool), numFuPools);
+    }
+}
+
+TEST(IsaTest, MemOpClassification)
+{
+    EXPECT_TRUE(isMemOp(OpClass::Load));
+    EXPECT_TRUE(isMemOp(OpClass::Store));
+    EXPECT_TRUE(isMemOp(OpClass::Prefetch));
+    EXPECT_FALSE(isMemOp(OpClass::IntAlu));
+    EXPECT_FALSE(isMemOp(OpClass::Branch));
+    EXPECT_FALSE(isMemOp(OpClass::FpMult));
+}
+
+TEST(IsaTest, DividersAreUnpipelined)
+{
+    EXPECT_FALSE(opTiming(OpClass::IntDiv).pipelined);
+    EXPECT_FALSE(opTiming(OpClass::FpDiv).pipelined);
+    EXPECT_TRUE(opTiming(OpClass::IntAlu).pipelined);
+    EXPECT_TRUE(opTiming(OpClass::FpMult).pipelined);
+}
+
+TEST(IsaTest, LatencyOrderingIsSane)
+{
+    // Divide > multiply > add, in both int and FP.
+    EXPECT_GT(opTiming(OpClass::IntDiv).latency,
+              opTiming(OpClass::IntMult).latency);
+    EXPECT_GT(opTiming(OpClass::IntMult).latency,
+              opTiming(OpClass::IntAlu).latency);
+    EXPECT_GT(opTiming(OpClass::FpDiv).latency,
+              opTiming(OpClass::FpMult).latency);
+    EXPECT_GE(opTiming(OpClass::FpMult).latency,
+              opTiming(OpClass::FpAlu).latency);
+}
+
+TEST(IsaTest, MemoryOpsUseIntAluForAgen)
+{
+    EXPECT_EQ(opTiming(OpClass::Load).pool, FuPool::IntAlu);
+    EXPECT_EQ(opTiming(OpClass::Store).pool, FuPool::IntAlu);
+    EXPECT_EQ(opTiming(OpClass::Prefetch).pool, FuPool::IntAlu);
+    EXPECT_EQ(opTiming(OpClass::Branch).pool, FuPool::IntAlu);
+}
+
+TEST(IsaTest, Table1PoolSizes)
+{
+    const FuPoolSizes pools;
+    EXPECT_EQ(pools.size(FuPool::IntAlu), 8u);
+    EXPECT_EQ(pools.size(FuPool::IntMulDiv), 2u);
+    EXPECT_EQ(pools.size(FuPool::FpAlu), 4u);
+    EXPECT_EQ(pools.size(FuPool::FpMulDiv), 4u);
+}
+
+TEST(IsaTest, MicroOpDefaults)
+{
+    const MicroOp op;
+    EXPECT_EQ(op.cls, OpClass::IntAlu);
+    EXPECT_EQ(op.depDist1, 0u);
+    EXPECT_EQ(op.depDist2, 0u);
+    EXPECT_EQ(op.brKind, BranchKind::NotBranch);
+    EXPECT_FALSE(op.taken);
+}
+
+} // namespace
+} // namespace vsv

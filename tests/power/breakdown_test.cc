@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Whole-run power-breakdown properties: the relative results of the
+ * paper depend on how total power splits between the VSV-scaled
+ * pipeline domain and the fixed-VDDH RAM structures, and on the clock
+ * tree's share. These tests pin that breakdown to a Wattch-like
+ * neighborhood on a representative workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/simulator.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(PowerBreakdownTest, ScaledDomainDominatesButNotEverything)
+{
+    SimulationOptions options = makeOptions("gzip", false, 100000);
+    Simulator sim(options);
+    sim.run();
+    const PowerModel &pm = sim.powerModel();
+
+    const double scaled = pm.domainEnergyPj(VoltageDomain::Scaled);
+    const double total = pm.totalEnergyPj();
+    // Wattch-like: pipeline + clock is roughly 55-80% of the chip.
+    EXPECT_GT(scaled / total, 0.50);
+    EXPECT_LT(scaled / total, 0.85);
+}
+
+TEST(PowerBreakdownTest, ClockTreeIsALargeSingleConsumer)
+{
+    SimulationOptions options = makeOptions("gzip", false, 100000);
+    Simulator sim(options);
+    sim.run();
+    const PowerModel &pm = sim.powerModel();
+
+    const double clock =
+        pm.structureEnergyPj(PowerStructure::ClockTree);
+    const double total = pm.totalEnergyPj();
+    EXPECT_GT(clock / total, 0.12);
+    EXPECT_LT(clock / total, 0.40);
+}
+
+TEST(PowerBreakdownTest, AbsoluteScaleIsAlphaLike)
+{
+    // Average power of a busy baseline run should be tens of watts
+    // (0.18 um Alpha-class), so the 66 nJ ramp energy is in proportion.
+    SimulationOptions options = makeOptions("gzip", false, 100000);
+    Simulator sim(options);
+    const SimulationResult result = sim.run();
+    EXPECT_GT(result.avgPowerW, 20.0);
+    EXPECT_LT(result.avgPowerW, 150.0);
+}
+
+TEST(PowerBreakdownTest, StalledWorkloadBurnsLessThanBusyOne)
+{
+    SimulationOptions busy = makeOptions("gzip", false, 100000);
+    Simulator busy_sim(busy);
+    const double busy_power = busy_sim.run().avgPowerW;
+
+    SimulationOptions stalled = makeOptions("mcf", false, 100000);
+    Simulator stalled_sim(stalled);
+    const double stalled_power = stalled_sim.run().avgPowerW;
+
+    // DCG gates idle units, so a stalled machine burns much less -
+    // but the clock tree keeps it well above zero (VSV's target).
+    EXPECT_LT(stalled_power, 0.8 * busy_power);
+    EXPECT_GT(stalled_power, 0.2 * busy_power);
+}
+
+TEST(PowerBreakdownTest, DcgAblationRaisesIdlePower)
+{
+    SimulationOptions gated = makeOptions("mcf", false, 60000);
+    Simulator gated_sim(gated);
+    const double with_dcg = gated_sim.run().avgPowerW;
+
+    SimulationOptions ungated = makeOptions("mcf", false, 60000);
+    ungated.power.gating = GatingStyle::Simple;
+    Simulator ungated_sim(ungated);
+    const double without_dcg = ungated_sim.run().avgPowerW;
+
+    EXPECT_GT(without_dcg, 1.05 * with_dcg);
+}
+
+TEST(PowerBreakdownTest, VsvReducesEnergyNotJustPower)
+{
+    // On a stall-heavy workload VSV must cut total *energy* too (it
+    // runs slightly longer but far below baseline power).
+    SimulationOptions base = makeOptions("ammp", false, 80000);
+    Simulator base_sim(base);
+    const SimulationResult base_result = base_sim.run();
+
+    SimulationOptions vsv = base;
+    vsv.vsv = fsmVsvConfig();
+    Simulator vsv_sim(vsv);
+    const SimulationResult vsv_result = vsv_sim.run();
+
+    EXPECT_LT(vsv_result.energyPj, base_result.energyPj);
+    EXPECT_GE(vsv_result.ticks, base_result.ticks);
+}
+
+TEST(PowerBreakdownTest, RampEnergyVisibleInVsvRuns)
+{
+    SimulationOptions vsv = makeOptions("mcf", false, 60000);
+    vsv.vsv = fsmVsvConfig();
+    Simulator sim(vsv);
+    const SimulationResult result = sim.run();
+    const double ramp = sim.powerModel().rampEnergyPj();
+    EXPECT_DOUBLE_EQ(
+        ramp,
+        66000.0 * (result.downTransitions + result.upTransitions));
+    // The overhead must not dominate total energy, or VSV would be
+    // thrashing transitions.
+    EXPECT_LT(ramp / result.energyPj, 0.10);
+}
+
+} // namespace
+} // namespace vsv

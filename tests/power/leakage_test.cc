@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests of the optional leakage model (the paper's deferred VDD^3
+ * leakage benefit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/model.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(LeakageTest, DisabledByDefault)
+{
+    PowerModel pm;
+    for (int i = 0; i < 100; ++i)
+        pm.tick(true);
+    EXPECT_DOUBLE_EQ(pm.leakageEnergyPj(), 0.0);
+}
+
+TEST(LeakageTest, AccruesEveryTickRegardlessOfEdges)
+{
+    PowerModelConfig config;
+    config.leakageFraction = 0.1;
+    PowerModel pm(config);
+    pm.tick(true);
+    const double one = pm.leakageEnergyPj();
+    EXPECT_GT(one, 0.0);
+    pm.tick(false);  // no pipeline edge: leakage still accrues
+    EXPECT_NEAR(pm.leakageEnergyPj(), 2 * one, 1e-9);
+}
+
+TEST(LeakageTest, ScaledDomainLeakageFallsWithVddCubed)
+{
+    PowerModelConfig config;
+    config.leakageFraction = 0.1;
+
+    PowerModel high(config);
+    high.setPipelineVdd(1.8);
+    high.tick(false);
+    const double at_high = high.leakageEnergyPj();
+
+    PowerModel low(config);
+    low.setPipelineVdd(1.2);
+    low.tick(false);
+    const double at_low = low.leakageEnergyPj();
+
+    // The fixed domain leaks the same; only the scaled domain drops
+    // by (1.2/1.8)^3 = 0.296.
+    EXPECT_LT(at_low, at_high);
+    EXPECT_GT(at_low, 0.296 * at_high);  // fixed part keeps it above
+
+    // Reconstruct the split: leak(V) = fixed + scaled * (V/1.8)^3.
+    const double r = 1.2 / 1.8;
+    const double scaled =
+        (at_high - at_low) / (1.0 - r * r * r);
+    const double fixed = at_high - scaled;
+    EXPECT_GT(scaled, 0.0);
+    EXPECT_GT(fixed, 0.0);
+    EXPECT_NEAR(fixed + scaled * r * r * r, at_low, 1e-9);
+}
+
+TEST(LeakageTest, CountsTowardTotalEnergy)
+{
+    PowerModelConfig config;
+    config.leakageFraction = 0.2;
+    PowerModel pm(config);
+    pm.tick(false);
+    EXPECT_NEAR(pm.totalEnergyPj(),
+                pm.leakageEnergyPj() +
+                    pm.structureEnergyPj(PowerStructure::L2Cache),
+                1e-6);
+}
+
+TEST(LeakageTest, NegativeFractionDies)
+{
+    PowerModelConfig config;
+    config.leakageFraction = -0.1;
+    EXPECT_DEATH(PowerModel pm(config), "leakage");
+}
+
+} // namespace
+} // namespace vsv

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests of the voltage-aware power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/model.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(PowerStructuresTest, TableIsComplete)
+{
+    for (std::size_t i = 0; i < numPowerStructures; ++i) {
+        const auto s = static_cast<PowerStructure>(i);
+        const StructureParams &params = structureParams(s);
+        EXPECT_FALSE(params.name.empty());
+        EXPECT_GT(params.accessPj, 0.0) << params.name;
+        EXPECT_GT(params.maxCyclePj, 0.0) << params.name;
+    }
+}
+
+TEST(PowerModelTest, AccessEnergyScalesWithVddSquared)
+{
+    PowerModel pm;
+    pm.setPipelineVdd(1.8);
+    pm.recordAccess(PowerStructure::IntAlu);
+    const double high = pm.structureEnergyPj(PowerStructure::IntAlu);
+
+    PowerModel pm_low;
+    pm_low.setPipelineVdd(1.2);
+    pm_low.recordAccess(PowerStructure::IntAlu);
+    const double low = pm_low.structureEnergyPj(PowerStructure::IntAlu);
+
+    EXPECT_NEAR(low / high, (1.2 * 1.2) / (1.8 * 1.8), 1e-12);
+}
+
+TEST(PowerModelTest, FixedDomainIgnoresPipelineVdd)
+{
+    PowerModel pm;
+    pm.setPipelineVdd(1.2);
+    pm.recordAccess(PowerStructure::L1DCache);
+    const double low_vdd = pm.structureEnergyPj(PowerStructure::L1DCache);
+
+    PowerModel pm2;
+    pm2.setPipelineVdd(1.8);
+    pm2.recordAccess(PowerStructure::L1DCache);
+    EXPECT_DOUBLE_EQ(low_vdd,
+                     pm2.structureEnergyPj(PowerStructure::L1DCache));
+}
+
+TEST(PowerModelTest, ClockTreeChargesOnlyOnPipelineEdges)
+{
+    PowerModel pm;
+    pm.tick(true);
+    const double one_edge = pm.structureEnergyPj(PowerStructure::ClockTree);
+    EXPECT_GT(one_edge, 0.0);
+    pm.tick(false);
+    EXPECT_DOUBLE_EQ(pm.structureEnergyPj(PowerStructure::ClockTree),
+                     one_edge);
+    pm.tick(true);
+    EXPECT_NEAR(pm.structureEnergyPj(PowerStructure::ClockTree),
+                2 * one_edge, 1e-9);
+}
+
+TEST(PowerModelTest, HalfClockHalvesClockEnergyPerWallTime)
+{
+    // Two ticks at full speed vs two ticks at half speed (one edge).
+    PowerModel full;
+    full.tick(true);
+    full.tick(true);
+
+    PowerModel half;
+    half.tick(true);
+    half.tick(false);
+
+    EXPECT_NEAR(half.structureEnergyPj(PowerStructure::ClockTree) /
+                    full.structureEnergyPj(PowerStructure::ClockTree),
+                0.5, 1e-12);
+}
+
+TEST(PowerModelTest, GatingStylesOrderIdlePower)
+{
+    // For any structure: None >= Simple >= Dcg >= Ideal idle energy.
+    double idle[4];
+    const GatingStyle styles[] = {GatingStyle::None, GatingStyle::Simple,
+                                  GatingStyle::Dcg, GatingStyle::Ideal};
+    for (int i = 0; i < 4; ++i) {
+        PowerModelConfig config;
+        config.gating = styles[i];
+        PowerModel pm(config);
+        pm.tick(true);
+        idle[i] = pm.structureEnergyPj(PowerStructure::IntAlu);
+    }
+    EXPECT_GT(idle[0], idle[1]);
+    EXPECT_GT(idle[1], idle[2]);
+    EXPECT_GT(idle[2], idle[3]);
+    EXPECT_DOUBLE_EQ(idle[3], 0.0);
+    // None burns a full busy cycle.
+    EXPECT_DOUBLE_EQ(idle[0],
+                     structureParams(PowerStructure::IntAlu).maxCyclePj);
+}
+
+TEST(PowerModelTest, DcgCutsGateableIdlePower)
+{
+    PowerModelConfig gated;
+    gated.gating = GatingStyle::Dcg;
+    PowerModelConfig ungated;
+    ungated.gating = GatingStyle::Simple;
+
+    PowerModel with_dcg(gated), without_dcg(ungated);
+    with_dcg.tick(true);
+    without_dcg.tick(true);
+
+    // IntAlu is DCG-gateable: idle power should be much lower.
+    EXPECT_LT(with_dcg.structureEnergyPj(PowerStructure::IntAlu),
+              0.2 * without_dcg.structureEnergyPj(PowerStructure::IntAlu));
+    // FetchLogic is not gateable: identical idle power.
+    EXPECT_DOUBLE_EQ(
+        with_dcg.structureEnergyPj(PowerStructure::FetchLogic),
+        without_dcg.structureEnergyPj(PowerStructure::FetchLogic));
+}
+
+TEST(PowerModelTest, ActiveStructuresPayAccessNotIdle)
+{
+    PowerModel pm;
+    pm.recordAccess(PowerStructure::FetchLogic, 2);
+    const double after_access =
+        pm.structureEnergyPj(PowerStructure::FetchLogic);
+    pm.tick(true);
+    // No idle top-up for an active structure.
+    EXPECT_DOUBLE_EQ(pm.structureEnergyPj(PowerStructure::FetchLogic),
+                     after_access);
+}
+
+TEST(PowerModelTest, L2IdlesOnEveryTickEvenWithoutPipelineEdge)
+{
+    PowerModel pm;
+    pm.tick(false);
+    EXPECT_GT(pm.structureEnergyPj(PowerStructure::L2Cache), 0.0);
+    // The (half-clocked) L1 does not idle-burn on a no-edge tick.
+    EXPECT_DOUBLE_EQ(pm.structureEnergyPj(PowerStructure::L1ICache), 0.0);
+}
+
+TEST(PowerModelTest, RampEnergyAccumulates)
+{
+    PowerModel pm;
+    pm.addRampEnergy();
+    pm.addRampEnergy();
+    EXPECT_DOUBLE_EQ(pm.rampEnergyPj(), 2 * 66000.0);
+    EXPECT_GE(pm.totalEnergyPj(), 2 * 66000.0);
+}
+
+TEST(PowerModelTest, LevelConverterLatchSelection)
+{
+    PowerModel pm;
+    pm.setLowPowerPath(false);
+    pm.recordAccess(PowerStructure::LevelConverters);
+    const double regular =
+        pm.structureEnergyPj(PowerStructure::LevelConverters);
+
+    PowerModel pm2;
+    pm2.setLowPowerPath(true);
+    pm2.recordAccess(PowerStructure::LevelConverters);
+    const double converting =
+        pm2.structureEnergyPj(PowerStructure::LevelConverters);
+
+    // The level-converting set is the more expensive one.
+    EXPECT_GT(converting, regular);
+}
+
+TEST(PowerModelTest, AveragePowerConversion)
+{
+    PowerModel pm;
+    pm.addRampEnergy();  // 66,000 pJ
+    // 66,000 pJ over 66 ns = 1,000 pJ/ns = 1 W.
+    EXPECT_NEAR(pm.averagePowerW(66), 1.0, 1e-9);
+}
+
+TEST(PowerModelTest, DomainEnergySplit)
+{
+    PowerModel pm;
+    pm.recordAccess(PowerStructure::IntAlu);
+    pm.recordAccess(PowerStructure::L2Cache);
+    EXPECT_GT(pm.domainEnergyPj(VoltageDomain::Scaled), 0.0);
+    EXPECT_GT(pm.domainEnergyPj(VoltageDomain::Fixed), 0.0);
+    EXPECT_NEAR(pm.domainEnergyPj(VoltageDomain::Scaled) +
+                    pm.domainEnergyPj(VoltageDomain::Fixed),
+                pm.totalEnergyPj(), 1e-9);
+}
+
+TEST(PowerModelTest, OutOfRangeVddDies)
+{
+    PowerModel pm;
+    EXPECT_DEATH(pm.setPipelineVdd(0.5), "VDD");
+    EXPECT_DEATH(pm.setPipelineVdd(2.5), "VDD");
+}
+
+} // namespace
+} // namespace vsv

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests of the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(ScalarTest, AccumulatesAndResets)
+{
+    Scalar s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(DistributionTest, BucketsAndMean)
+{
+    Distribution d(0, 9, 2);  // buckets 0-1, 2-3, ..., 8-9
+    d.sample(0);
+    d.sample(1);
+    d.sample(4);
+    d.sample(9, 2);
+
+    EXPECT_EQ(d.samples(), 5u);
+    EXPECT_DOUBLE_EQ(d.mean(), (0.0 + 1.0 + 4.0 + 9.0 + 9.0) / 5.0);
+    EXPECT_EQ(d.buckets()[0], 2u);
+    EXPECT_EQ(d.buckets()[2], 1u);
+    EXPECT_EQ(d.buckets()[4], 2u);
+}
+
+TEST(DistributionTest, UnderAndOverflow)
+{
+    Distribution d(10, 20, 5);
+    d.sample(5);
+    d.sample(25);
+    d.sample(15);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.samples(), 3u);
+}
+
+TEST(DistributionTest, ResetClearsEverything)
+{
+    Distribution d(0, 10, 1);
+    d.sample(3, 7);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    for (const auto b : d.buckets())
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(StatRegistryTest, LookupAndDump)
+{
+    StatRegistry registry;
+    Scalar a, b;
+    a += 10;
+    b += 20;
+    registry.registerScalar("mod.a", &a, "stat a");
+    registry.registerScalar("mod.b", &b, "stat b");
+
+    EXPECT_TRUE(registry.hasScalar("mod.a"));
+    EXPECT_FALSE(registry.hasScalar("mod.c"));
+    EXPECT_DOUBLE_EQ(registry.scalarValue("mod.a"), 10.0);
+    EXPECT_DOUBLE_EQ(registry.scalarValue("mod.b"), 20.0);
+
+    std::ostringstream os;
+    registry.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("mod.a"), std::string::npos);
+    EXPECT_NE(text.find("stat b"), std::string::npos);
+}
+
+TEST(StatRegistryTest, DuplicateRegistrationDies)
+{
+    StatRegistry registry;
+    Scalar s;
+    registry.registerScalar("x", &s, "");
+    EXPECT_DEATH(registry.registerScalar("x", &s, ""), "duplicate");
+}
+
+TEST(StatRegistryTest, UnknownLookupDies)
+{
+    StatRegistry registry;
+    EXPECT_DEATH(registry.scalarValue("nope"), "unknown");
+}
+
+TEST(StatRegistryTest, DistributionDumpShowsBuckets)
+{
+    StatRegistry registry;
+    Distribution d(0, 8, 1);
+    d.sample(2, 5);
+    registry.registerDistribution("mod.dist", &d, "a distribution");
+
+    std::ostringstream os;
+    registry.dump(os);
+    EXPECT_NE(os.str().find("mod.dist::2 5"), std::string::npos);
+}
+
+} // namespace
+} // namespace vsv

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of the down-/up-FSM issue-rate monitors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vsv/fsm.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(DownFsmTest, FiresOnConsecutiveZeroIssueCycles)
+{
+    IssueMonitorFsm fsm({3, 10}, /*count_zero_issue=*/true);
+    EXPECT_FALSE(fsm.arm());
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Watching);
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Watching);
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Fired);
+    EXPECT_FALSE(fsm.armed());
+}
+
+TEST(DownFsmTest, IssueBreaksTheStreak)
+{
+    IssueMonitorFsm fsm({3, 10}, true);
+    fsm.arm();
+    fsm.observe(0);
+    fsm.observe(0);
+    EXPECT_EQ(fsm.observe(2), MonitorOutcome::Watching);  // streak reset
+    fsm.observe(0);
+    fsm.observe(0);
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Fired);
+}
+
+TEST(DownFsmTest, ExpiresAfterMonitoringPeriod)
+{
+    IssueMonitorFsm fsm({3, 5}, true);
+    fsm.arm();
+    // Alternate so the streak never reaches 3 within 5 cycles.
+    fsm.observe(0);
+    fsm.observe(1);
+    fsm.observe(0);
+    fsm.observe(1);
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Expired);
+    EXPECT_FALSE(fsm.armed());
+    EXPECT_EQ(fsm.fires(), 0u);
+}
+
+TEST(DownFsmTest, ThresholdZeroFiresOnArm)
+{
+    IssueMonitorFsm fsm({0, 10}, true);
+    EXPECT_TRUE(fsm.arm());
+    EXPECT_FALSE(fsm.armed());
+    EXPECT_EQ(fsm.fires(), 1u);
+}
+
+TEST(DownFsmTest, ThresholdOneFiresOnFirstZeroCycle)
+{
+    IssueMonitorFsm fsm({1, 10}, true);
+    fsm.arm();
+    EXPECT_EQ(fsm.observe(4), MonitorOutcome::Watching);
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Fired);
+}
+
+TEST(UpFsmTest, FiresOnConsecutiveIssuingCycles)
+{
+    IssueMonitorFsm fsm({3, 10}, /*count_zero_issue=*/false);
+    fsm.arm();
+    EXPECT_EQ(fsm.observe(1), MonitorOutcome::Watching);
+    EXPECT_EQ(fsm.observe(2), MonitorOutcome::Watching);
+    EXPECT_EQ(fsm.observe(8), MonitorOutcome::Fired);
+}
+
+TEST(UpFsmTest, ZeroIssueBreaksTheStreak)
+{
+    IssueMonitorFsm fsm({2, 10}, false);
+    fsm.arm();
+    fsm.observe(1);
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Watching);
+    fsm.observe(1);
+    EXPECT_EQ(fsm.observe(1), MonitorOutcome::Fired);
+}
+
+TEST(FsmTest, ObserveWhileIdleDoesNothing)
+{
+    IssueMonitorFsm fsm({3, 10}, true);
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Idle);
+    EXPECT_EQ(fsm.fires(), 0u);
+}
+
+TEST(FsmTest, DisarmCancelsMonitoring)
+{
+    IssueMonitorFsm fsm({1, 10}, true);
+    fsm.arm();
+    fsm.disarm();
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Idle);
+}
+
+TEST(FsmTest, ThresholdEqualsPeriodBoundary)
+{
+    // Firing on the very last cycle of the period must count as a
+    // fire, not an expiration.
+    IssueMonitorFsm fsm({5, 5}, true);
+    fsm.arm();
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(fsm.observe(0), MonitorOutcome::Watching);
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Fired);
+}
+
+TEST(FsmTest, RearmAfterExpiryWorks)
+{
+    IssueMonitorFsm fsm({2, 3}, true);
+    fsm.arm();
+    fsm.observe(1);
+    fsm.observe(1);
+    EXPECT_EQ(fsm.observe(1), MonitorOutcome::Expired);
+    fsm.arm();
+    fsm.observe(0);
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Fired);
+    EXPECT_EQ(fsm.arms(), 2u);
+    EXPECT_EQ(fsm.fires(), 1u);
+}
+
+} // namespace
+} // namespace vsv

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests of the slew-limited voltage rail.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vsv/rail.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(VoltageRailTest, PaperSwingTakesTwelveTicks)
+{
+    VoltageRail rail(1.8, 0.05);
+    EXPECT_EQ(rail.swingTicks(1.2, 1.8), 12u);
+}
+
+TEST(VoltageRailTest, RampDownAveragesAndSettles)
+{
+    VoltageRail rail(1.8, 0.05);
+    rail.rampTo(1.2);
+    EXPECT_FALSE(rail.settled());
+
+    // First tick: 1.8 -> 1.75; average 1.775.
+    EXPECT_NEAR(rail.advance(), 1.775, 1e-12);
+    for (int i = 0; i < 11; ++i)
+        rail.advance();
+    EXPECT_TRUE(rail.settled());
+    EXPECT_NEAR(rail.voltage(), 1.2, 1e-12);
+}
+
+TEST(VoltageRailTest, RampUpIsSymmetric)
+{
+    VoltageRail rail(1.2, 0.05);
+    rail.rampTo(1.8);
+    int ticks = 0;
+    while (!rail.settled()) {
+        rail.advance();
+        ++ticks;
+    }
+    EXPECT_EQ(ticks, 12);
+    EXPECT_NEAR(rail.voltage(), 1.8, 1e-12);
+}
+
+TEST(VoltageRailTest, AdvanceWhileSettledHoldsLevel)
+{
+    VoltageRail rail(1.8, 0.05);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(rail.advance(), 1.8);
+}
+
+TEST(VoltageRailTest, RetargetMidRampReverses)
+{
+    VoltageRail rail(1.8, 0.05);
+    rail.rampTo(1.2);
+    rail.advance();
+    rail.advance();  // now at 1.7
+    EXPECT_NEAR(rail.voltage(), 1.7, 1e-12);
+    rail.rampTo(1.8);
+    rail.advance();
+    EXPECT_NEAR(rail.voltage(), 1.75, 1e-12);
+}
+
+TEST(VoltageRailTest, DoesNotOvershootTarget)
+{
+    VoltageRail rail(1.8, 0.07);  // 0.6/0.07 is not an integer
+    rail.rampTo(1.2);
+    while (!rail.settled())
+        rail.advance();
+    EXPECT_DOUBLE_EQ(rail.voltage(), 1.2);
+}
+
+} // namespace
+} // namespace vsv

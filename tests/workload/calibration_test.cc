@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Calibration tests: every SPEC2K profile's measured baseline IPC and
+ * L2 miss rate must stay in the neighborhood of its Table 2 target.
+ * These are regression fences around the numbers the VSV experiments
+ * depend on - loose enough to survive incidental simulator changes,
+ * tight enough to catch a broken workload knob.
+ *
+ * Short windows are used (the profiles are stationary), so tolerances
+ * are wide; bench/table2_baseline reports the precise comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/simulator.hh"
+
+namespace vsv
+{
+namespace
+{
+
+class CalibrationTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CalibrationTest, BaselineIpcAndMrNearTable2)
+{
+    const std::string bench = GetParam();
+    SimulationOptions options = makeOptions(bench, false, 120000, 200000);
+    Simulator sim(options);
+    const SimulationResult result = sim.run();
+    const WorkloadProfile &profile = options.profile;
+
+    // IPC within 40% of Table 2.
+    EXPECT_GT(result.ipc, 0.60 * profile.targetIpc) << bench;
+    EXPECT_LT(result.ipc, 1.40 * profile.targetIpc) << bench;
+
+    // MR within a factor of ~1.6 for miss-heavy benchmarks, or simply
+    // small for the near-zero ones.
+    if (profile.targetMrBase >= 1.0) {
+        EXPECT_GT(result.mr, profile.targetMrBase / 1.6) << bench;
+        EXPECT_LT(result.mr, profile.targetMrBase * 1.6) << bench;
+    } else {
+        EXPECT_LT(result.mr, profile.targetMrBase + 0.7) << bench;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, CalibrationTest,
+    ::testing::ValuesIn(spec2kBenchmarks()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(CalibrationShapeTest, MrOrderingMatchesTable2)
+{
+    // The seven high-MR benchmarks must measure above every low-MR
+    // benchmark - Figure 4's sort order depends on it.
+    double min_high = 1e9;
+    for (const auto &name : highMrBenchmarks()) {
+        SimulationOptions options = makeOptions(name, false, 80000,
+                                                150000);
+        Simulator sim(options);
+        min_high = std::min(min_high, sim.run().mr);
+    }
+    for (const auto &name : {"gzip", "crafty", "mesa", "twolf"}) {
+        SimulationOptions options = makeOptions(name, false, 80000,
+                                                150000);
+        Simulator sim(options);
+        EXPECT_LT(sim.run().mr, min_high) << name;
+    }
+}
+
+TEST(CalibrationShapeTest, IlpSplitDrivesIssueRateAfterMisses)
+{
+    // mcf (pointer chase) must stall after misses; applu (solver
+    // sweeps) must keep issuing - this is the very signal the
+    // down-FSM discriminates on.
+    auto zero_issue_fraction = [](const std::string &bench) {
+        SimulationOptions options = makeOptions(bench, false, 80000,
+                                                150000);
+        Simulator sim(options);
+        sim.run();
+        const double zero =
+            sim.stats().scalarValue("cpu.zeroIssueCycles");
+        // Fraction of pipeline cycles issuing nothing.
+        const double cycles = static_cast<double>(
+            sim.core().pipelineCycles());
+        return zero / cycles;
+    };
+    const double mcf_stall = zero_issue_fraction("mcf");
+    const double applu_stall = zero_issue_fraction("applu");
+    EXPECT_GT(mcf_stall, 0.55);
+    EXPECT_LT(applu_stall, mcf_stall - 0.2);
+}
+
+} // namespace
+} // namespace vsv

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Property tests of the workload generator's memory-stream patterns
+ * and calibration knobs (bursts, jitter, consumers, region layout).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace vsv
+{
+namespace
+{
+
+WorkloadProfile
+coldOnly(ColdPattern pattern)
+{
+    WorkloadProfile p;
+    p.name = "pattern";
+    p.seed = 21;
+    p.loadFrac = 0.5;
+    p.storeFrac = p.branchFrac = 0.0;
+    p.coldFrac = 1.0;
+    p.warmFrac = 0.0;
+    p.coldPattern = pattern;
+    p.coldFootprint = 1 << 20;
+    p.swPrefetchCoverage = 0.0;
+    return p;
+}
+
+TEST(PatternTest, SeqChainIsSequentialAndSerial)
+{
+    WorkloadGenerator gen(coldOnly(ColdPattern::SeqChain));
+    Addr prev = 0;
+    std::uint64_t prev_pos = 0;
+    int checked = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls != OpClass::Load)
+            continue;
+        if (prev != 0) {
+            EXPECT_EQ(op.addr, prev + 64);
+            // Serial: depends on the previous chain load exactly.
+            EXPECT_EQ(op.depDist1, gen.generated() - prev_pos);
+            ++checked;
+        }
+        prev = op.addr;
+        prev_pos = gen.generated();
+    }
+    EXPECT_GT(checked, 2000);
+}
+
+TEST(PatternTest, ScanWrapsWithinFootprint)
+{
+    WorkloadProfile p = coldOnly(ColdPattern::Scan);
+    p.coldFootprint = 64 * 1024;  // wraps after 1K accesses
+    WorkloadGenerator gen(p);
+    std::set<Addr> addrs;
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::Load) {
+            EXPECT_GE(op.addr, WorkloadRegions::cold);
+            EXPECT_LT(op.addr, WorkloadRegions::cold + p.coldFootprint);
+            addrs.insert(op.addr);
+        }
+    }
+    EXPECT_EQ(addrs.size(), 1024u);  // every 64B step, revisited
+}
+
+TEST(PatternTest, JitterSkipsBlocksButStaysInBounds)
+{
+    WorkloadProfile p = coldOnly(ColdPattern::Scan);
+    p.scanJitterProb = 0.5;
+    WorkloadGenerator gen(p);
+    Addr prev = 0;
+    int jumps = 0, steps = 0;
+    for (int i = 0; i < 8000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls != OpClass::Load)
+            continue;
+        if (prev != 0 && op.addr > prev) {
+            if (op.addr != prev + 64)
+                ++jumps;
+            ++steps;
+            EXPECT_EQ((op.addr - prev) % 64, 0u);
+            EXPECT_LE(op.addr - prev, 64u * 3);  // jumps skip 1-2 blocks
+        }
+        prev = op.addr;
+    }
+    EXPECT_GT(jumps, steps / 4);
+    EXPECT_LT(jumps, 3 * steps / 4);
+}
+
+TEST(PatternTest, MultiStreamScansUseDisjointSlices)
+{
+    WorkloadProfile p = coldOnly(ColdPattern::Scan);
+    p.scanStreams = 4;
+    WorkloadGenerator gen(p);
+    const std::uint64_t slice = p.coldFootprint / 4;
+    std::set<int> slices_touched;
+    for (int i = 0; i < 8000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::Load) {
+            slices_touched.insert(static_cast<int>(
+                (op.addr - WorkloadRegions::cold) / slice));
+        }
+    }
+    EXPECT_EQ(slices_touched.size(), 4u);
+}
+
+TEST(PatternTest, ColdBurstsClusterAccesses)
+{
+    WorkloadProfile p;
+    p.name = "bursty";
+    p.seed = 22;
+    p.loadFrac = 0.5;
+    p.storeFrac = p.branchFrac = 0.0;
+    p.coldFrac = 0.1;
+    p.coldBurst = 8;
+    p.coldPattern = ColdPattern::Scan;
+    WorkloadGenerator gen(p);
+
+    // Measure run lengths of consecutive cold loads.
+    std::vector<int> runs;
+    int run = 0;
+    int cold = 0, loads = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls != OpClass::Load)
+            continue;
+        ++loads;
+        const bool is_cold = op.addr >= WorkloadRegions::cold;
+        cold += is_cold;
+        if (is_cold) {
+            ++run;
+        } else if (run > 0) {
+            runs.push_back(run);
+            run = 0;
+        }
+    }
+    // Average rate is preserved...
+    EXPECT_NEAR(static_cast<double>(cold) / loads, 0.1, 0.02);
+    // ...but arrivals are clustered into bursts of ~8 loads. (Cold
+    // bursts force consecutive *loads* cold; interleaved non-load ops
+    // do not break a burst.)
+    double mean_run = 0.0;
+    for (const int r : runs)
+        mean_run += r;
+    mean_run /= static_cast<double>(runs.size());
+    EXPECT_GT(mean_run, 5.0);
+}
+
+TEST(PatternTest, ColdConsumersChainToLatestColdLoad)
+{
+    WorkloadProfile p;
+    p.name = "consumer";
+    p.seed = 23;
+    p.loadFrac = 0.2;
+    p.storeFrac = p.branchFrac = 0.0;
+    p.coldFrac = 0.5;
+    p.coldPattern = ColdPattern::Scan;
+    p.coldConsumerProb = 1.0;
+    p.loadConsumerProb = 0.0;
+    WorkloadGenerator gen(p);
+
+    std::uint64_t last_cold_pos = 0;
+    int checked = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        const std::uint64_t pos = gen.generated();
+        if (op.cls == OpClass::Load) {
+            if (op.addr >= WorkloadRegions::cold)
+                last_cold_pos = pos;
+        } else if (last_cold_pos != 0) {
+            EXPECT_EQ(op.depDist1, pos - last_cold_pos);
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 5000);
+}
+
+TEST(PatternTest, RegularSideStreamLivesAboveThePrimaryFootprint)
+{
+    WorkloadProfile p = coldOnly(ColdPattern::Random);
+    p.coldRegularFrac = 0.5;
+    p.regularFootprint = 1 << 20;
+    WorkloadGenerator gen(p);
+    int regular = 0, primary = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls != OpClass::Load)
+            continue;
+        if (op.addr >= WorkloadRegions::cold + p.coldFootprint)
+            ++regular;
+        else
+            ++primary;
+    }
+    EXPECT_GT(regular, 3000);
+    EXPECT_GT(primary, 3000);
+    // The regular stream is sequential within its own region.
+}
+
+TEST(PatternTest, MutatingChainDivergesFromFixedChain)
+{
+    WorkloadProfile fixed = coldOnly(ColdPattern::Chain);
+    WorkloadProfile mut = coldOnly(ColdPattern::MutatingChain);
+    mut.chainMutateProb = 0.5;
+
+    WorkloadGenerator a(fixed), b(fixed), c(mut);
+    // Two fixed chains with the same seed are identical...
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_EQ(a.next().addr, b.next().addr);
+    // ...and mutation uses extra RNG draws, so the mutating walk
+    // diverges from the fixed one.
+    WorkloadGenerator d(fixed);
+    int same = 0;
+    for (int i = 0; i < 2000; ++i) {
+        if (d.next().addr == c.next().addr)
+            ++same;
+    }
+    EXPECT_LT(same, 1500);
+}
+
+TEST(PatternTest, HotAndWarmStayInTheirRegions)
+{
+    WorkloadProfile p;
+    p.name = "regions";
+    p.seed = 24;
+    p.loadFrac = 0.5;
+    p.warmFrac = 0.4;
+    p.coldFrac = 0.0;
+    WorkloadGenerator gen(p);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls != OpClass::Load)
+            continue;
+        if (op.addr >= WorkloadRegions::warm &&
+            op.addr < WorkloadRegions::cold) {
+            EXPECT_LT(op.addr, WorkloadRegions::warm + p.warmFootprint);
+        } else {
+            ASSERT_GE(op.addr, WorkloadRegions::hot);
+            EXPECT_LT(op.addr, WorkloadRegions::hot + p.hotFootprint);
+        }
+    }
+}
+
+TEST(PatternTest, BranchSlotsAreStableAcrossLoopIterations)
+{
+    WorkloadProfile p;
+    p.name = "slots";
+    p.seed = 25;
+    p.branchFrac = 0.15;
+    p.codeFootprint = 4 * 1024;  // 1K instruction slots
+    WorkloadGenerator gen(p);
+
+    // Record which pcs carry branches on the first pass; later passes
+    // must agree exactly (static code).
+    std::map<Addr, bool> is_branch_slot;
+    const std::uint64_t loop = p.codeFootprint / 4;
+    for (std::uint64_t i = 0; i < loop; ++i) {
+        const MicroOp op = gen.next();
+        is_branch_slot[op.pc] = op.cls == OpClass::Branch;
+    }
+    for (std::uint64_t i = 0; i < 4 * loop; ++i) {
+        const MicroOp op = gen.next();
+        EXPECT_EQ(op.cls == OpClass::Branch, is_branch_slot[op.pc])
+            << "pc " << std::hex << op.pc;
+    }
+}
+
+} // namespace
+} // namespace vsv

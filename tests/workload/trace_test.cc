@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests of trace recording and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hh"
+#include "workload/workload.hh"
+
+namespace vsv
+{
+namespace
+{
+
+/** Temp-file helper that cleans up after itself. */
+class TempTrace
+{
+  public:
+    TempTrace()
+    {
+        char name[] = "/tmp/vsv_trace_XXXXXX";
+        const int fd = mkstemp(name);
+        EXPECT_GE(fd, 0);
+        ::close(fd);
+        path_ = name;
+    }
+    ~TempTrace() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+MicroOp
+sampleOp(int i)
+{
+    MicroOp op;
+    op.cls = i % 2 == 0 ? OpClass::Load : OpClass::FpMult;
+    op.depDist1 = static_cast<std::uint32_t>(i);
+    op.depDist2 = static_cast<std::uint32_t>(2 * i);
+    op.pc = 0x400000 + i * 4;
+    op.addr = 0x10000000ULL + i * 64;
+    op.target = 0x500000 + i;
+    op.taken = i % 3 == 0;
+    op.brKind = BranchKind::NotBranch;
+    return op;
+}
+
+TEST(TraceTest, RoundTripPreservesEveryField)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        for (int i = 0; i < 100; ++i)
+            writer.append(sampleOp(i));
+    }
+
+    TraceReader reader(tmp.path(), /*loop=*/false);
+    EXPECT_EQ(reader.records(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        const MicroOp expect = sampleOp(i);
+        const MicroOp got = reader.next();
+        EXPECT_EQ(got.cls, expect.cls);
+        EXPECT_EQ(got.depDist1, expect.depDist1);
+        EXPECT_EQ(got.depDist2, expect.depDist2);
+        EXPECT_EQ(got.pc, expect.pc);
+        EXPECT_EQ(got.addr, expect.addr);
+        EXPECT_EQ(got.target, expect.target);
+        EXPECT_EQ(got.taken, expect.taken);
+        EXPECT_EQ(got.brKind, expect.brKind);
+    }
+}
+
+TEST(TraceTest, LoopingWrapsToTheStart)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        for (int i = 0; i < 10; ++i)
+            writer.append(sampleOp(i));
+    }
+    TraceReader reader(tmp.path(), /*loop=*/true);
+    for (int i = 0; i < 35; ++i) {
+        const MicroOp got = reader.next();
+        EXPECT_EQ(got.pc, sampleOp(i % 10).pc) << i;
+    }
+    EXPECT_EQ(reader.replayed(), 35u);
+}
+
+TEST(TraceTest, NonLoopingExhaustionIsFatal)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        writer.append(sampleOp(0));
+    }
+    TraceReader reader(tmp.path(), /*loop=*/false);
+    reader.next();
+    EXPECT_EXIT(reader.next(), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST(TraceTest, RejectsGarbageFiles)
+{
+    TempTrace tmp;
+    {
+        std::FILE *f = std::fopen(tmp.path().c_str(), "wb");
+        std::fputs("this is not a trace", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceReader reader(tmp.path()),
+                ::testing::ExitedWithCode(1), "not a VSV trace");
+}
+
+TEST(TraceTest, RejectsMissingFile)
+{
+    EXPECT_EXIT(TraceReader reader("/nonexistent/trace.vsvt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceTest, GeneratorCaptureReplaysIdentically)
+{
+    // Capture 5000 ops of a real profile, then compare replay against
+    // a fresh generator: identical streams.
+    TempTrace tmp;
+    {
+        WorkloadGenerator gen(spec2kProfile("mcf"));
+        TraceWriter writer(tmp.path());
+        for (int i = 0; i < 5000; ++i)
+            writer.append(gen.next());
+    }
+
+    WorkloadGenerator fresh(spec2kProfile("mcf"));
+    TraceReader replay(tmp.path(), false);
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp a = fresh.next();
+        const MicroOp b = replay.next();
+        ASSERT_EQ(a.cls, b.cls) << i;
+        ASSERT_EQ(a.addr, b.addr) << i;
+        ASSERT_EQ(a.depDist1, b.depDist1) << i;
+    }
+}
+
+} // namespace
+} // namespace vsv

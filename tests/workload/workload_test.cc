@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests of the synthetic workload generators and SPEC2K profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/workload.hh"
+
+namespace vsv
+{
+namespace
+{
+
+WorkloadProfile
+basicProfile()
+{
+    WorkloadProfile p;
+    p.name = "test";
+    p.seed = 5;
+    return p;
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed)
+{
+    WorkloadGenerator a(basicProfile());
+    WorkloadGenerator b(basicProfile());
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp oa = a.next();
+        const MicroOp ob = b.next();
+        EXPECT_EQ(oa.cls, ob.cls);
+        EXPECT_EQ(oa.addr, ob.addr);
+        EXPECT_EQ(oa.pc, ob.pc);
+        EXPECT_EQ(oa.depDist1, ob.depDist1);
+        EXPECT_EQ(oa.taken, ob.taken);
+    }
+}
+
+TEST(WorkloadTest, InstructionMixMatchesProfile)
+{
+    WorkloadProfile p = basicProfile();
+    p.loadFrac = 0.30;
+    p.storeFrac = 0.10;
+    p.branchFrac = 0.15;
+    WorkloadGenerator gen(p);
+
+    std::map<OpClass, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().cls];
+
+    EXPECT_NEAR(counts[OpClass::Load] / double(n), 0.30, 0.01);
+    EXPECT_NEAR(counts[OpClass::Store] / double(n), 0.10, 0.01);
+    EXPECT_NEAR(counts[OpClass::Branch] / double(n), 0.15, 0.01);
+}
+
+TEST(WorkloadTest, FpFractionControlsFpOps)
+{
+    WorkloadProfile p = basicProfile();
+    p.fpFrac = 1.0;
+    WorkloadGenerator gen(p);
+    for (int i = 0; i < 2000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::IntAlu || op.cls == OpClass::IntMult ||
+            op.cls == OpClass::IntDiv) {
+            FAIL() << "integer compute op in a pure-FP profile";
+        }
+    }
+}
+
+TEST(WorkloadTest, ColdScanAddressesStrideThroughFootprint)
+{
+    WorkloadProfile p = basicProfile();
+    p.coldFrac = 1.0;
+    p.warmFrac = 0.0;
+    p.loadFrac = 1.0;
+    p.storeFrac = p.branchFrac = 0.0;
+    p.coldPattern = ColdPattern::Scan;
+    p.coldStride = 64;
+    p.swPrefetchCoverage = 0.0;
+    WorkloadGenerator gen(p);
+
+    Addr prev = 0;
+    for (int i = 0; i < 100; ++i) {
+        const MicroOp op = gen.next();
+        ASSERT_EQ(op.cls, OpClass::Load);
+        if (i > 0)
+            EXPECT_EQ(op.addr, prev + 64);
+        prev = op.addr;
+    }
+}
+
+TEST(WorkloadTest, ChainLoadsDependOnPreviousChainLoad)
+{
+    WorkloadProfile p = basicProfile();
+    p.coldFrac = 1.0;
+    p.warmFrac = 0.0;
+    p.loadFrac = 1.0;
+    p.storeFrac = p.branchFrac = 0.0;
+    p.coldPattern = ColdPattern::Chain;
+    p.coldFootprint = 1 << 20;
+    p.chainCount = 1;
+    WorkloadGenerator gen(p);
+
+    gen.next();  // first chain load has no producer yet
+    for (int i = 0; i < 100; ++i) {
+        const MicroOp op = gen.next();
+        // Back-to-back chain loads: each depends on the previous one.
+        EXPECT_EQ(op.depDist1, 1u);
+    }
+}
+
+TEST(WorkloadTest, ChainVisitsManyDistinctBlocks)
+{
+    WorkloadProfile p = basicProfile();
+    p.coldFrac = 1.0;
+    p.warmFrac = 0.0;
+    p.loadFrac = 1.0;
+    p.storeFrac = p.branchFrac = 0.0;
+    p.coldPattern = ColdPattern::Chain;
+    p.coldFootprint = 1 << 20;  // 16K blocks
+    WorkloadGenerator gen(p);
+
+    std::set<Addr> blocks;
+    for (int i = 0; i < 4000; ++i)
+        blocks.insert(gen.next().addr);
+    // A random permutation walk should rarely revisit early.
+    EXPECT_GT(blocks.size(), 3800u);
+}
+
+TEST(WorkloadTest, SoftwarePrefetchesPrecedeTheirLoads)
+{
+    WorkloadProfile p = basicProfile();
+    p.coldFrac = 0.5;
+    p.loadFrac = 0.5;
+    p.storeFrac = p.branchFrac = 0.0;
+    p.coldPattern = ColdPattern::Scan;
+    p.swPrefetchCoverage = 1.0;
+    p.swPrefetchLookahead = 4;
+    WorkloadGenerator gen(p);
+
+    std::map<Addr, std::uint64_t> prefetch_pos;
+    int covered = 0, total = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::Prefetch) {
+            prefetch_pos.emplace(op.addr, gen.generated());
+        } else if (op.cls == OpClass::Load &&
+                   op.addr >= 0x40000000ULL) {
+            ++total;
+            auto it = prefetch_pos.find(op.addr);
+            if (it != prefetch_pos.end() &&
+                it->second < gen.generated()) {
+                ++covered;
+            }
+        }
+    }
+    ASSERT_GT(total, 100);
+    // Full coverage modulo the initial lookahead window.
+    EXPECT_GT(covered / double(total), 0.95);
+}
+
+TEST(WorkloadTest, BranchOutcomesAreConsistentPerSite)
+{
+    WorkloadProfile p = basicProfile();
+    p.branchFrac = 0.5;
+    p.branchNoise = 0.0;
+    WorkloadGenerator gen(p);
+
+    // Targets must be a deterministic function of the pc.
+    std::map<Addr, Addr> site_target;
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls != OpClass::Branch || op.brKind != BranchKind::Cond)
+            continue;
+        auto [it, inserted] = site_target.emplace(op.pc, op.target);
+        if (!inserted)
+            EXPECT_EQ(it->second, op.target);
+    }
+}
+
+TEST(WorkloadTest, PcStaysInsideCodeFootprint)
+{
+    WorkloadProfile p = basicProfile();
+    p.codeFootprint = 8 * 1024;
+    WorkloadGenerator gen(p);
+    for (int i = 0; i < 10000; ++i) {
+        const MicroOp op = gen.next();
+        EXPECT_GE(op.pc, 0x400000u);
+        EXPECT_LT(op.pc, 0x400000u + p.codeFootprint);
+    }
+}
+
+TEST(Spec2kTest, AllBenchmarksHaveProfiles)
+{
+    EXPECT_EQ(spec2kBenchmarks().size(), 26u);
+    for (const auto &name : spec2kBenchmarks()) {
+        const WorkloadProfile p = spec2kProfile(name);
+        EXPECT_EQ(p.name, name);
+        EXPECT_GT(p.targetIpc, 0.0) << name;
+    }
+}
+
+TEST(Spec2kTest, HighMrSubsetMatchesTable2)
+{
+    // The paper's Figures 5/6 use benchmarks with MR > 4.
+    EXPECT_EQ(highMrBenchmarks().size(), 7u);
+    for (const auto &name : highMrBenchmarks()) {
+        EXPECT_GT(spec2kProfile(name).targetMrBase, 4.0) << name;
+    }
+    // And the rest are all at or below 4.
+    for (const auto &name : spec2kBenchmarks()) {
+        bool high = false;
+        for (const auto &h : highMrBenchmarks())
+            high = high || h == name;
+        if (!high)
+            EXPECT_LE(spec2kProfile(name).targetMrBase, 4.0) << name;
+    }
+}
+
+TEST(Spec2kTest, UnknownBenchmarkIsFatal)
+{
+    EXPECT_DEATH(spec2kProfile("doom3"), "unknown");
+}
+
+TEST(Spec2kTest, ProfilesAreDistinctStreams)
+{
+    WorkloadGenerator mcf(spec2kProfile("mcf"));
+    WorkloadGenerator ammp(spec2kProfile("ammp"));
+    int identical = 0;
+    for (int i = 0; i < 200; ++i) {
+        const MicroOp a = mcf.next();
+        const MicroOp b = ammp.next();
+        if (a.cls == b.cls && a.addr == b.addr)
+            ++identical;
+    }
+    EXPECT_LT(identical, 100);
+}
+
+} // namespace
+} // namespace vsv
