@@ -10,12 +10,11 @@
  * at all.
  *
  * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ *        --jobs=N --json=path --seed=S
  */
 
 #include <iostream>
-#include <sstream>
 
-#include "common/config.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -23,27 +22,36 @@ using namespace vsv;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
-    const std::uint64_t insts = config.getUInt("instructions", 200000);
-    const std::uint64_t warmup = config.getUInt("warmup", 300000);
-
-    std::vector<std::string> benchmarks = {"mcf", "ammp", "lucas"};
-    {
-        const std::string raw = config.getString("benchmarks", "");
-        if (!raw.empty()) {
-            benchmarks.clear();
-            std::stringstream ss(raw);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                benchmarks.push_back(item);
-        }
-    }
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 200000, 300000, {"mcf", "ammp", "lucas"});
 
     // leakageFraction is per-structure relative to its busy-cycle
     // dynamic power; the resulting share of *total* power depends on
     // activity and is reported per run.
     const double fractions[] = {0.0, 0.03, 0.08, 0.15};
+    const std::size_t nf = std::size(fractions);
+
+    // Two runs (baseline + VSV) per benchmark x fraction cell.
+    std::vector<SweepJob> jobs;
+    for (const auto &bench : args.benchmarks) {
+        for (std::size_t f = 0; f < nf; ++f) {
+            SimulationOptions base = makeOptions(bench, false,
+                                                 args.instructions,
+                                                 args.warmup);
+            applyRunSeed(base, args.seed);
+            base.power.leakageFraction = fractions[f];
+            const std::string stem =
+                bench + "/frac" + TextTable::num(fractions[f], 2);
+            jobs.push_back({stem + "/base", base});
+
+            SimulationOptions vsv = base;
+            vsv.vsv = fsmVsvConfig();
+            jobs.push_back({stem + "/vsv", vsv});
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes =
+        runSweep(args, "ablation_leakage", jobs);
 
     std::cout << "Leakage-node ablation (paper future-work: VSV also "
                  "cuts leakage ~VDD^3)\n";
@@ -56,26 +64,19 @@ main(int argc, char **argv)
     headers.push_back("leak share @0.15");
     TextTable table(headers);
 
-    for (const auto &bench : benchmarks) {
-        std::vector<std::string> row{bench};
+    for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
+        std::vector<std::string> row{args.benchmarks[b]};
         double last_leak_share = 0.0;
-        for (const double f : fractions) {
-            SimulationOptions base = makeOptions(bench, false, insts,
-                                                 warmup);
-            base.power.leakageFraction = f;
-            Simulator base_sim(base);
-            const SimulationResult base_result = base_sim.run();
+        for (std::size_t f = 0; f < nf; ++f) {
+            const std::size_t cell = 2 * (b * nf + f);
+            const SweepOutcome &base = outcomes[cell];
             // Leakage only accrues in the measured window, so divide
             // by the window's energy delta, not the lifetime total.
             last_leak_share =
-                100.0 * base_sim.powerModel().leakageEnergyPj() /
-                base_result.energyPj;
-
-            SimulationOptions vsv = base;
-            vsv.vsv = fsmVsvConfig();
-            Simulator vsv_sim(vsv);
-            const VsvComparison cmp =
-                makeComparison(base_result, vsv_sim.run());
+                100.0 * base.scalars.at("power.energy.leakage") /
+                base.result.energyPj;
+            const VsvComparison cmp = makeComparison(
+                base.result, outcomes[cell + 1].result);
             row.push_back(TextTable::num(cmp.powerSavingsPct, 1));
         }
         row.push_back(TextTable::num(last_leak_share, 1) + "%");

@@ -8,13 +8,12 @@
  * design-choice discussion in DESIGN.md.
  *
  * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ *        --jobs=N --json=path --seed=S
  */
 
 #include <functional>
 #include <iostream>
-#include <sstream>
 
-#include "common/config.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -33,22 +32,8 @@ struct Variant
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
-    const std::uint64_t insts = config.getUInt("instructions", 200000);
-    const std::uint64_t warmup = config.getUInt("warmup", 300000);
-
-    std::vector<std::string> benchmarks = {"mcf", "ammp", "applu"};
-    {
-        const std::string raw = config.getString("benchmarks", "");
-        if (!raw.empty()) {
-            benchmarks.clear();
-            std::stringstream ss(raw);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                benchmarks.push_back(item);
-        }
-    }
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 200000, 300000, {"mcf", "ammp", "applu"});
 
     const std::vector<Variant> variants = {
         {"paper defaults", [](SimulationOptions &) {}},
@@ -85,24 +70,19 @@ main(int argc, char **argv)
          }},
     };
 
-    std::cout << "VSV design-constant ablations\n";
-    std::cout << "(cells: performance degradation % / power savings % "
-                 "vs the *matching* baseline)\n\n";
-
-    std::vector<std::string> headers{"variant"};
-    for (const auto &bench : benchmarks)
-        headers.push_back(bench);
-    TextTable table(headers);
-
-    for (const Variant &variant : variants) {
-        std::vector<std::string> row{variant.label};
-        for (const auto &bench : benchmarks) {
-            SimulationOptions base = makeOptions(bench, false, insts,
-                                                 warmup);
-            variant.apply(base);
+    // Two runs (matching baseline + VSV) per variant x benchmark cell.
+    std::vector<SweepJob> jobs;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        for (const auto &bench : args.benchmarks) {
+            SimulationOptions base = makeOptions(bench, false,
+                                                 args.instructions,
+                                                 args.warmup);
+            applyRunSeed(base, args.seed);
+            variants[v].apply(base);
             base.vsv.enabled = false;
-            Simulator base_sim(base);
-            const SimulationResult base_result = base_sim.run();
+            const std::string stem =
+                bench + "/v" + std::to_string(v);
+            jobs.push_back({stem + "/base", base});
 
             SimulationOptions vsv = base;
             const VsvConfig fsm = fsmVsvConfig();
@@ -110,11 +90,31 @@ main(int argc, char **argv)
             vsv.vsv.down = fsm.down;
             vsv.vsv.up = fsm.up;
             vsv.vsv.upPolicy = fsm.upPolicy;
-            variant.apply(vsv);  // reapply (vsv fields may be touched)
+            variants[v].apply(vsv);  // reapply (vsv fields may be touched)
             vsv.vsv.enabled = true;
-            Simulator vsv_sim(vsv);
-            const VsvComparison cmp =
-                makeComparison(base_result, vsv_sim.run());
+            jobs.push_back({stem + "/vsv", vsv});
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes =
+        runSweep(args, "ablation_vsv", jobs);
+
+    std::cout << "VSV design-constant ablations\n";
+    std::cout << "(cells: performance degradation % / power savings % "
+                 "vs the *matching* baseline)\n\n";
+
+    std::vector<std::string> headers{"variant"};
+    for (const auto &bench : args.benchmarks)
+        headers.push_back(bench);
+    TextTable table(headers);
+
+    const std::size_t nb = args.benchmarks.size();
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        std::vector<std::string> row{variants[v].label};
+        for (std::size_t b = 0; b < nb; ++b) {
+            const std::size_t cell = 2 * (v * nb + b);
+            const VsvComparison cmp = makeComparison(
+                outcomes[cell].result, outcomes[cell + 1].result);
             row.push_back(TextTable::num(cmp.perfDegradationPct, 1) +
                           "/" + TextTable::num(cmp.powerSavingsPct, 1));
         }

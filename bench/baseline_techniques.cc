@@ -12,12 +12,11 @@
  * prefetching (the SPEC peak binaries' compiled-in prefetches).
  *
  * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ *        --jobs=N --json=path --seed=S
  */
 
 #include <iostream>
-#include <sstream>
 
-#include "common/config.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -25,63 +24,65 @@ using namespace vsv;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
-    const std::uint64_t insts = config.getUInt("instructions", 200000);
-    const std::uint64_t warmup = config.getUInt("warmup", 300000);
-
-    std::vector<std::string> benchmarks = {"mcf", "ammp", "lucas",
-                                           "applu"};
-    {
-        const std::string raw = config.getString("benchmarks", "");
-        if (!raw.empty()) {
-            benchmarks.clear();
-            std::stringstream ss(raw);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                benchmarks.push_back(item);
-        }
-    }
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 200000, 300000, {"mcf", "ammp", "lucas", "applu"});
 
     struct Variant
     {
         const char *label;
+        const char *id;
         bool dcg;
         bool swPrefetch;
     };
     const Variant variants[] = {
-        {"DCG + swPF (paper)", true, true},
-        {"DCG, no swPF", true, false},
-        {"no DCG, swPF", false, true},
-        {"neither", false, false},
+        {"DCG + swPF (paper)", "dcg-swpf", true, true},
+        {"DCG, no swPF", "dcg", true, false},
+        {"no DCG, swPF", "swpf", false, true},
+        {"neither", "neither", false, false},
     };
+
+    // Two runs (matching baseline + VSV) per variant x benchmark cell.
+    std::vector<SweepJob> jobs;
+    for (const Variant &variant : variants) {
+        for (const auto &bench : args.benchmarks) {
+            SimulationOptions base = makeOptions(bench, false,
+                                                 args.instructions,
+                                                 args.warmup);
+            applyRunSeed(base, args.seed);
+            base.power.gating = variant.dcg ? GatingStyle::Dcg
+                                            : GatingStyle::Simple;
+            if (!variant.swPrefetch)
+                base.profile.swPrefetchCoverage = 0.0;
+            const std::string stem =
+                bench + "/" + variant.id;
+            jobs.push_back({stem + "/base", base});
+
+            SimulationOptions vsv = base;
+            vsv.vsv = fsmVsvConfig();
+            jobs.push_back({stem + "/vsv", vsv});
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes =
+        runSweep(args, "baseline_techniques", jobs);
 
     std::cout << "VSV's opportunity vs the baseline's own power/"
                  "performance techniques\n";
     std::cout << "(cells: baseline MR | VSV degradation % / savings %)\n\n";
 
     std::vector<std::string> headers{"baseline"};
-    for (const auto &bench : benchmarks)
+    for (const auto &bench : args.benchmarks)
         headers.push_back(bench);
     TextTable table(headers);
 
-    for (const Variant &variant : variants) {
-        std::vector<std::string> row{variant.label};
-        for (const auto &bench : benchmarks) {
-            SimulationOptions base = makeOptions(bench, false, insts,
-                                                 warmup);
-            base.power.gating = variant.dcg ? GatingStyle::Dcg
-                                            : GatingStyle::Simple;
-            if (!variant.swPrefetch)
-                base.profile.swPrefetchCoverage = 0.0;
-            Simulator base_sim(base);
-            const SimulationResult base_result = base_sim.run();
-
-            SimulationOptions vsv = base;
-            vsv.vsv = fsmVsvConfig();
-            Simulator vsv_sim(vsv);
-            const VsvComparison cmp =
-                makeComparison(base_result, vsv_sim.run());
+    const std::size_t nb = args.benchmarks.size();
+    for (std::size_t v = 0; v < std::size(variants); ++v) {
+        std::vector<std::string> row{variants[v].label};
+        for (std::size_t b = 0; b < nb; ++b) {
+            const std::size_t cell = 2 * (v * nb + b);
+            const SimulationResult &base_result = outcomes[cell].result;
+            const VsvComparison cmp = makeComparison(
+                base_result, outcomes[cell + 1].result);
             row.push_back(TextTable::num(base_result.mr, 1) + " | " +
                           TextTable::num(cmp.perfDegradationPct, 1) +
                           "/" + TextTable::num(cmp.powerSavingsPct, 1));

@@ -6,13 +6,12 @@
  * summary averages (all benchmarks, and the MR > 4 subset).
  *
  * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ *        --jobs=N --json=path --seed=S
  */
 
 #include <algorithm>
 #include <iostream>
-#include <sstream>
 
-#include "common/config.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -33,43 +32,40 @@ struct Row
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
-    const std::uint64_t insts = config.getUInt("instructions", 400000);
-    const std::uint64_t warmup = config.getUInt("warmup", 300000);
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 400000, 300000, spec2kBenchmarks());
 
-    std::vector<std::string> benchmarks;
-    {
-        const std::string raw = config.getString("benchmarks", "");
-        if (raw.empty()) {
-            benchmarks = spec2kBenchmarks();
-        } else {
-            std::stringstream ss(raw);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                benchmarks.push_back(item);
-        }
+    // Three runs per benchmark: baseline, VSV without FSMs, VSV with
+    // the paper's FSMs. All three share the benchmark's workload seed
+    // so the comparison is apples to apples.
+    std::vector<SweepJob> jobs;
+    for (const auto &name : args.benchmarks) {
+        SimulationOptions base = makeOptions(name, false,
+                                             args.instructions,
+                                             args.warmup);
+        applyRunSeed(base, args.seed);
+        jobs.push_back({name + "/base", base});
+
+        SimulationOptions no_fsm = base;
+        no_fsm.vsv = noFsmVsvConfig();
+        jobs.push_back({name + "/no-fsm", no_fsm});
+
+        SimulationOptions with_fsm = base;
+        with_fsm.vsv = fsmVsvConfig();
+        jobs.push_back({name + "/fsm", with_fsm});
     }
 
+    const std::vector<SweepOutcome> outcomes =
+        runSweep(args, "fig4_fsm_effect", jobs);
+
     std::vector<Row> rows;
-    for (const auto &name : benchmarks) {
-        const SimulationOptions base = makeOptions(name, false, insts,
-                                                   warmup);
-        Simulator base_sim(base);
-        const SimulationResult base_result = base_sim.run();
-
-        auto run_vsv = [&](const VsvConfig &cfg) {
-            SimulationOptions opts = base;
-            opts.vsv = cfg;
-            Simulator sim(opts);
-            return makeComparison(base_result, sim.run());
-        };
-
+    for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
+        const SimulationResult &base = outcomes[3 * b + 0].result;
         Row row;
-        row.name = name;
-        row.mr = base_result.mr;
-        row.noFsm = run_vsv(noFsmVsvConfig());
-        row.withFsm = run_vsv(fsmVsvConfig());
+        row.name = args.benchmarks[b];
+        row.mr = base.mr;
+        row.noFsm = makeComparison(base, outcomes[3 * b + 1].result);
+        row.withFsm = makeComparison(base, outcomes[3 * b + 2].result);
         rows.push_back(row);
     }
 

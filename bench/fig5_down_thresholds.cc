@@ -4,12 +4,12 @@
  * consecutive zero-issue cycles within a 10-cycle period) on the
  * MR > 4 benchmarks. The up-FSM is fixed at threshold 3 / period 10.
  *
- * Flags: --instructions=N --warmup=N
+ * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ *        --jobs=N --json=path --seed=S
  */
 
 #include <iostream>
 
-#include "common/config.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -17,12 +17,31 @@ using namespace vsv;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
-    const std::uint64_t insts = config.getUInt("instructions", 400000);
-    const std::uint64_t warmup = config.getUInt("warmup", 300000);
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 400000, 300000, highMrBenchmarks());
 
     const std::uint32_t thresholds[] = {0, 1, 3, 5};
+
+    // Five runs per benchmark: the baseline plus one per threshold.
+    std::vector<SweepJob> jobs;
+    for (const auto &name : args.benchmarks) {
+        SimulationOptions base = makeOptions(name, false,
+                                             args.instructions,
+                                             args.warmup);
+        applyRunSeed(base, args.seed);
+        jobs.push_back({name + "/base", base});
+        for (const std::uint32_t threshold : thresholds) {
+            SimulationOptions opts = base;
+            opts.vsv = fsmVsvConfig();
+            opts.vsv.down = {threshold, 10};
+            jobs.push_back(
+                {name + "/down-" + std::to_string(threshold), opts});
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes =
+        runSweep(args, "fig5_down_thresholds", jobs);
+    const std::size_t stride = 1 + std::size(thresholds);
 
     std::cout << "Figure 5: Effects of thresholds on high-to-low "
                  "transitions (MR > 4 benchmarks)\n";
@@ -31,21 +50,12 @@ main(int argc, char **argv)
 
     TextTable table({"bench", "thr 0", "thr 1", "thr 3", "thr 5"});
 
-    for (const auto &name : highMrBenchmarks()) {
-        const SimulationOptions base = makeOptions(name, false, insts,
-                                                   warmup);
-        Simulator base_sim(base);
-        const SimulationResult base_result = base_sim.run();
-
-        std::vector<std::string> cells{name};
-        for (const std::uint32_t threshold : thresholds) {
-            VsvConfig vsv = fsmVsvConfig();
-            vsv.down = {threshold, 10};
-            SimulationOptions opts = base;
-            opts.vsv = vsv;
-            Simulator sim(opts);
-            const VsvComparison cmp =
-                makeComparison(base_result, sim.run());
+    for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
+        const SimulationResult &base = outcomes[stride * b].result;
+        std::vector<std::string> cells{args.benchmarks[b]};
+        for (std::size_t t = 0; t < std::size(thresholds); ++t) {
+            const VsvComparison cmp = makeComparison(
+                base, outcomes[stride * b + 1 + t].result);
             cells.push_back(TextTable::num(cmp.perfDegradationPct, 1) +
                             "/" + TextTable::num(cmp.powerSavingsPct, 1));
         }

@@ -5,12 +5,12 @@
  * compared against the First-R and Last-R heuristics, on the MR > 4
  * benchmarks. The down-FSM is fixed at threshold 3 / period 10.
  *
- * Flags: --instructions=N --warmup=N
+ * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ *        --jobs=N --json=path --seed=S
  */
 
 #include <iostream>
 
-#include "common/config.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -18,10 +18,8 @@ using namespace vsv;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
-    const std::uint64_t insts = config.getUInt("instructions", 400000);
-    const std::uint64_t warmup = config.getUInt("warmup", 300000);
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 400000, 300000, highMrBenchmarks());
 
     struct Variant
     {
@@ -30,12 +28,34 @@ main(int argc, char **argv)
         std::uint32_t threshold;
     };
     const Variant variants[] = {
-        {"First-R", UpPolicy::FirstR, 0},
-        {"thr 1", UpPolicy::Fsm, 1},
-        {"thr 3", UpPolicy::Fsm, 3},
-        {"thr 5", UpPolicy::Fsm, 5},
-        {"Last-R", UpPolicy::LastR, 0},
+        {"first-r", UpPolicy::FirstR, 0},
+        {"up-1", UpPolicy::Fsm, 1},
+        {"up-3", UpPolicy::Fsm, 3},
+        {"up-5", UpPolicy::Fsm, 5},
+        {"last-r", UpPolicy::LastR, 0},
     };
+
+    // Six runs per benchmark: the baseline plus one per up-policy.
+    std::vector<SweepJob> jobs;
+    for (const auto &name : args.benchmarks) {
+        SimulationOptions base = makeOptions(name, false,
+                                             args.instructions,
+                                             args.warmup);
+        applyRunSeed(base, args.seed);
+        jobs.push_back({name + "/base", base});
+        for (const Variant &variant : variants) {
+            SimulationOptions opts = base;
+            opts.vsv = fsmVsvConfig();
+            opts.vsv.upPolicy = variant.policy;
+            if (variant.policy == UpPolicy::Fsm)
+                opts.vsv.up = {variant.threshold, 10};
+            jobs.push_back({name + "/" + variant.label, opts});
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes =
+        runSweep(args, "fig6_up_thresholds", jobs);
+    const std::size_t stride = 1 + std::size(variants);
 
     std::cout << "Figure 6: Effects of thresholds on low-to-high "
                  "transitions (MR > 4 benchmarks)\n";
@@ -45,23 +65,12 @@ main(int argc, char **argv)
     TextTable table({"bench", "First-R", "thr 1", "thr 3", "thr 5",
                      "Last-R"});
 
-    for (const auto &name : highMrBenchmarks()) {
-        const SimulationOptions base = makeOptions(name, false, insts,
-                                                   warmup);
-        Simulator base_sim(base);
-        const SimulationResult base_result = base_sim.run();
-
-        std::vector<std::string> cells{name};
-        for (const Variant &variant : variants) {
-            VsvConfig vsv = fsmVsvConfig();
-            vsv.upPolicy = variant.policy;
-            if (variant.policy == UpPolicy::Fsm)
-                vsv.up = {variant.threshold, 10};
-            SimulationOptions opts = base;
-            opts.vsv = vsv;
-            Simulator sim(opts);
-            const VsvComparison cmp =
-                makeComparison(base_result, sim.run());
+    for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
+        const SimulationResult &base = outcomes[stride * b].result;
+        std::vector<std::string> cells{args.benchmarks[b]};
+        for (std::size_t v = 0; v < std::size(variants); ++v) {
+            const VsvComparison cmp = makeComparison(
+                base, outcomes[stride * b + 1 + v].result);
             cells.push_back(TextTable::num(cmp.perfDegradationPct, 1) +
                             "/" + TextTable::num(cmp.powerSavingsPct, 1));
         }

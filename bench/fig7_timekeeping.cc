@@ -6,13 +6,12 @@
  * (black bars), sorted by decreasing baseline MR.
  *
  * Flags: --instructions=N --warmup=N --tk-warmup=N --benchmarks=a,b,c
+ *        --jobs=N --json=path --seed=S
  */
 
 #include <algorithm>
 #include <iostream>
-#include <sstream>
 
-#include "common/config.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -34,53 +33,49 @@ struct Row
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
-    const std::uint64_t insts = config.getUInt("instructions", 400000);
-    const std::uint64_t warmup = config.getUInt("warmup", 300000);
-    const std::uint64_t tk_warmup = config.getUInt("tk-warmup", 0);
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 400000, 300000, spec2kBenchmarks());
+    const std::uint64_t tk_warmup = args.config.getUInt("tk-warmup", 0);
 
-    std::vector<std::string> benchmarks;
-    {
-        const std::string raw = config.getString("benchmarks", "");
-        if (raw.empty()) {
-            benchmarks = spec2kBenchmarks();
-        } else {
-            std::stringstream ss(raw);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                benchmarks.push_back(item);
-        }
+    // Four runs per benchmark: {base, VSV} x {no TK, TK}. Each pair
+    // shares its baseline's cache/warmup state so the comparison is
+    // VSV+TK vs base+TK, as in the paper.
+    std::vector<SweepJob> jobs;
+    for (const auto &name : args.benchmarks) {
+        SimulationOptions base = makeOptions(name, false,
+                                             args.instructions,
+                                             args.warmup);
+        applyRunSeed(base, args.seed);
+        jobs.push_back({name + "/base", base});
+
+        SimulationOptions vsv = base;
+        vsv.vsv = fsmVsvConfig();
+        jobs.push_back({name + "/fsm", vsv});
+
+        SimulationOptions tk_base = makeOptions(name, true,
+                                                args.instructions,
+                                                tk_warmup);
+        applyRunSeed(tk_base, args.seed);
+        jobs.push_back({name + "/tk-base", tk_base});
+
+        SimulationOptions tk_vsv = tk_base;
+        tk_vsv.vsv = fsmVsvConfig();
+        jobs.push_back({name + "/tk-fsm", tk_vsv});
     }
 
+    const std::vector<SweepOutcome> outcomes =
+        runSweep(args, "fig7_timekeeping", jobs);
+
     std::vector<Row> rows;
-    for (const auto &name : benchmarks) {
+    for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
+        const SimulationResult &base = outcomes[4 * b + 0].result;
+        const SimulationResult &tk_base = outcomes[4 * b + 2].result;
         Row row;
-        row.name = name;
-
-        const SimulationOptions base = makeOptions(name, false, insts,
-                                                   warmup);
-        Simulator base_sim(base);
-        const SimulationResult base_result = base_sim.run();
-        row.mrBase = base_result.mr;
-        {
-            SimulationOptions opts = base;
-            opts.vsv = fsmVsvConfig();
-            Simulator sim(opts);
-            row.noTk = makeComparison(base_result, sim.run());
-        }
-
-        const SimulationOptions tk_base =
-            makeOptions(name, true, insts, tk_warmup);
-        Simulator tk_base_sim(tk_base);
-        const SimulationResult tk_base_result = tk_base_sim.run();
-        row.mrTk = tk_base_result.mr;
-        {
-            SimulationOptions opts = tk_base;
-            opts.vsv = fsmVsvConfig();
-            Simulator sim(opts);
-            row.withTk = makeComparison(tk_base_result, sim.run());
-        }
+        row.name = args.benchmarks[b];
+        row.mrBase = base.mr;
+        row.mrTk = tk_base.mr;
+        row.noTk = makeComparison(base, outcomes[4 * b + 1].result);
+        row.withTk = makeComparison(tk_base, outcomes[4 * b + 3].result);
         rows.push_back(row);
     }
 

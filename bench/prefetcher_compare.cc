@@ -8,12 +8,11 @@
  * baseline.
  *
  * Flags: --instructions=N --warmup=N --benchmarks=a,b,c
+ *        --jobs=N --json=path --seed=S
  */
 
 #include <iostream>
-#include <sstream>
 
-#include "common/config.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -21,36 +20,19 @@ using namespace vsv;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
-    const std::uint64_t insts = config.getUInt("instructions", 200000);
-    const std::uint64_t warmup = config.getUInt("warmup", 0);
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 200000, 0, {"mcf", "ammp", "applu", "lucas", "swim"});
 
-    std::vector<std::string> benchmarks = {"mcf", "ammp", "applu",
-                                           "lucas", "swim"};
-    {
-        const std::string raw = config.getString("benchmarks", "");
-        if (!raw.empty()) {
-            benchmarks.clear();
-            std::stringstream ss(raw);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                benchmarks.push_back(item);
-        }
-    }
+    const char *const engines[] = {"none", "stride", "tk"};
 
-    std::cout << "VSV opportunity under different hardware "
-                 "prefetchers\n";
-    std::cout << "(per engine: residual MR | VSV degradation % / "
-                 "savings %)\n\n";
-
-    TextTable table({"bench", "none", "stride", "timekeeping"});
-
-    for (const auto &bench : benchmarks) {
-        std::vector<std::string> row{bench};
+    // Two runs (matching baseline + VSV) per benchmark x engine cell.
+    std::vector<SweepJob> jobs;
+    for (const auto &bench : args.benchmarks) {
         for (int engine = 0; engine < 3; ++engine) {
             SimulationOptions base =
-                makeOptions(bench, engine == 2, insts, warmup);
+                makeOptions(bench, engine == 2, args.instructions,
+                            args.warmup);
+            applyRunSeed(base, args.seed);
             base.stridePrefetch = engine == 1;
             if (engine == 1) {
                 // The stream prefetcher trains fast; the long TK
@@ -59,15 +41,33 @@ main(int argc, char **argv)
                 base.warmupInstructions =
                     base.profile.tkWarmupInstructions;
             }
-            Simulator base_sim(base);
-            const SimulationResult base_result = base_sim.run();
+            const std::string stem =
+                bench + "/" + engines[engine];
+            jobs.push_back({stem + "/base", base});
 
             SimulationOptions vsv = base;
             vsv.vsv = fsmVsvConfig();
-            Simulator vsv_sim(vsv);
-            const VsvComparison cmp =
-                makeComparison(base_result, vsv_sim.run());
+            jobs.push_back({stem + "/vsv", vsv});
+        }
+    }
 
+    const std::vector<SweepOutcome> outcomes =
+        runSweep(args, "prefetcher_compare", jobs);
+
+    std::cout << "VSV opportunity under different hardware "
+                 "prefetchers\n";
+    std::cout << "(per engine: residual MR | VSV degradation % / "
+                 "savings %)\n\n";
+
+    TextTable table({"bench", "none", "stride", "timekeeping"});
+
+    for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
+        std::vector<std::string> row{args.benchmarks[b]};
+        for (int engine = 0; engine < 3; ++engine) {
+            const std::size_t cell = 2 * (b * 3 + engine);
+            const SimulationResult &base_result = outcomes[cell].result;
+            const VsvComparison cmp = makeComparison(
+                base_result, outcomes[cell + 1].result);
             row.push_back(TextTable::num(base_result.mr, 1) + " | " +
                           TextTable::num(cmp.perfDegradationPct, 1) +
                           "/" + TextTable::num(cmp.powerSavingsPct, 1));

@@ -2,7 +2,8 @@
  * @file
  * Table 1: the baseline processor configuration. Prints the modeled
  * configuration straight from the default config structs so the table
- * can never drift from the code.
+ * can never drift from the code. Runs no simulations; --json still
+ * writes a manifest-only sweep document for provenance.
  */
 
 #include <iostream>
@@ -12,8 +13,10 @@
 using namespace vsv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const ExperimentArgs args = parseExperimentArgs(argc, argv, 0, 0);
+
     const CoreConfig core;
     const HierarchyConfig mem;
     const BranchPredictorConfig bp;
@@ -75,7 +78,9 @@ main()
                       TextTable::num(vsv.slewVoltsPerTick, 2) +
                       "V/ns (12-cycle ramp), " +
                       TextTable::num(power.rampEnergyPj / 1000.0, 0) +
-                      "nJ per ramp"});
+                      "nJ per ramp; 1/" +
+                      std::to_string(vsv.clockDivider) +
+                      " clock at VDDL"});
     table.addRow({"VSV FSMs",
                   "down-FSM threshold " +
                       std::to_string(vsv.down.threshold) + "/period " +
@@ -91,5 +96,8 @@ main()
                       std::to_string(tk.predictorEntries) +
                       "-entry address predictor"});
     table.print(std::cout);
+
+    if (!args.jsonPath.empty())
+        runSweep(args, "table1_config", {});
     return 0;
 }

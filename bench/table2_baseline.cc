@@ -7,45 +7,41 @@
  *
  * Flags: --instructions=N --warmup=N --tk-warmup=N
  *        --benchmarks=a,b,c (default: all 26)
+ *        --jobs=N --json=path --seed=S
  */
 
+#include <cmath>
 #include <iostream>
-#include <sstream>
 
-#include "common/config.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
 
-namespace
-{
-
-std::vector<std::string>
-parseBenchmarks(const Config &config)
-{
-    const std::string raw = config.getString("benchmarks", "");
-    if (raw.empty())
-        return spec2kBenchmarks();
-    std::vector<std::string> names;
-    std::stringstream ss(raw);
-    std::string item;
-    while (std::getline(ss, item, ','))
-        names.push_back(item);
-    return names;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
-    const std::uint64_t insts = config.getUInt("instructions", 400000);
-    const std::uint64_t warmup = config.getUInt("warmup", 300000);
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 400000, 300000, spec2kBenchmarks());
     // Time-Keeping's correlations need longer functional training.
-    const std::uint64_t tk_warmup = config.getUInt("tk-warmup", 0);
-    const auto benchmarks = parseBenchmarks(config);
+    const std::uint64_t tk_warmup = args.config.getUInt("tk-warmup", 0);
+
+    // Two runs per benchmark: plain baseline and TK baseline.
+    std::vector<SweepJob> jobs;
+    for (const auto &name : args.benchmarks) {
+        SimulationOptions base = makeOptions(name, false,
+                                             args.instructions,
+                                             args.warmup);
+        applyRunSeed(base, args.seed);
+        jobs.push_back({name + "/base", base});
+
+        SimulationOptions tk = makeOptions(name, true,
+                                           args.instructions, tk_warmup);
+        applyRunSeed(tk, args.seed);
+        jobs.push_back({name + "/tk", tk});
+    }
+
+    const std::vector<SweepOutcome> outcomes =
+        runSweep(args, "table2_baseline", jobs);
 
     std::cout << "Table 2: Baseline SPEC2K benchmark statistics\n";
     std::cout << "(MR = demand L2 misses per 1000 instructions; paper "
@@ -56,17 +52,12 @@ main(int argc, char **argv)
 
     double sum_ipc_err = 0.0;
     int rows = 0;
-    for (const auto &name : benchmarks) {
-        SimulationOptions base = makeOptions(name, false, insts, warmup);
-        Simulator base_sim(base);
-        const SimulationResult base_result = base_sim.run();
+    for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
+        const std::string &name = args.benchmarks[b];
+        const SimulationResult &base_result = outcomes[2 * b].result;
+        const SimulationResult &tk_result = outcomes[2 * b + 1].result;
 
-        SimulationOptions tk =
-            makeOptions(name, true, insts, tk_warmup);
-        Simulator tk_sim(tk);
-        const SimulationResult tk_result = tk_sim.run();
-
-        const WorkloadProfile &profile = base.profile;
+        const WorkloadProfile profile = spec2kProfile(name);
         table.addRow({name,
                       TextTable::num(base_result.ipc),
                       "(" + TextTable::num(profile.targetIpc) + ")",

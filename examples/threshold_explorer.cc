@@ -6,12 +6,12 @@
  * own workload (the paper's Sections 6.2 and 6.3 condensed into one
  * tool).
  *
- *   ./threshold_explorer [benchmark] [--instructions=N]
+ *   ./threshold_explorer [benchmark] [--instructions=N] [--jobs=N]
+ *                        [--json=path] [--seed=S]
  */
 
 #include <iostream>
 
-#include "common/config.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -19,14 +19,35 @@ using namespace vsv;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    const auto positional = config.parseArgs(argc, argv);
-    const std::string bench = positional.empty() ? "lucas" : positional[0];
-    const std::uint64_t insts = config.getUInt("instructions", 200000);
+    const ExperimentArgs args = parseExperimentArgs(argc, argv,
+                                                    200000, 0);
+    const std::string bench =
+        args.positional.empty() ? "lucas" : args.positional[0];
 
-    const SimulationOptions base = makeOptions(bench, false, insts);
-    Simulator base_sim(base);
-    const SimulationResult base_result = base_sim.run();
+    const std::uint32_t downs[] = {0, 1, 3, 5};
+    const std::uint32_t ups[] = {1, 3, 5};
+
+    // The baseline plus the full down x up threshold grid.
+    SimulationOptions base = makeOptions(bench, false,
+                                         args.instructions);
+    applyRunSeed(base, args.seed);
+    std::vector<SweepJob> jobs;
+    jobs.push_back({bench + "/base", base});
+    for (const std::uint32_t down : downs) {
+        for (const std::uint32_t up : ups) {
+            SimulationOptions opts = base;
+            opts.vsv = fsmVsvConfig();
+            opts.vsv.down = {down, 10};
+            opts.vsv.up = {up, 10};
+            jobs.push_back({bench + "/down" + std::to_string(down) +
+                                "-up" + std::to_string(up),
+                            opts});
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes =
+        runSweep(args, "threshold_explorer", jobs);
+    const SimulationResult &base_result = outcomes[0].result;
 
     std::cout << "Threshold exploration for '" << bench << "' (baseline "
               << "IPC " << TextTable::num(base_result.ipc) << ", MR "
@@ -34,17 +55,12 @@ main(int argc, char **argv)
     std::cout << "cells: performance degradation % / power savings %\n\n";
 
     TextTable table({"down\\up", "1", "3", "5"});
-    for (const std::uint32_t down : {0u, 1u, 3u, 5u}) {
+    std::size_t next = 1;
+    for (const std::uint32_t down : downs) {
         std::vector<std::string> cells{std::to_string(down)};
-        for (const std::uint32_t up : {1u, 3u, 5u}) {
-            VsvConfig vsv = fsmVsvConfig();
-            vsv.down = {down, 10};
-            vsv.up = {up, 10};
-            SimulationOptions opts = base;
-            opts.vsv = vsv;
-            Simulator sim(opts);
-            const VsvComparison cmp =
-                makeComparison(base_result, sim.run());
+        for (std::size_t u = 0; u < std::size(ups); ++u) {
+            const VsvComparison cmp = makeComparison(
+                base_result, outcomes[next++].result);
             cells.push_back(TextTable::num(cmp.perfDegradationPct, 1) +
                             "/" + TextTable::num(cmp.powerSavingsPct, 1));
         }

@@ -58,7 +58,7 @@ main()
     traceTicks(ctrl, power, now, 3, 6);
 
     std::cout << "\n-- demand L2 miss detected; issue rate collapses --\n";
-    ctrl.demandL2MissDetected(now);
+    ctrl.demandL2MissDetected(now, 1);
     traceTicks(ctrl, power, now, 4, 0);  // down-FSM counts 3 zero cycles
 
     std::cout << "\n-- Figure 2: clock distribution, then VDD ramp --\n";

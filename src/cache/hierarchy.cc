@@ -219,7 +219,12 @@ MemoryHierarchy::requestFromL2(Addr l2_block, bool demand, bool is_write,
                    : config_.l2.hitLatency);
     if (demand && missListener) {
         events.schedule(detect_tick, [this](Tick when) {
-            missListener->demandL2MissDetected(when);
+            // Report the authoritative in-flight count at detection
+            // time, not allocation time: by the time the hit latency
+            // has elapsed, further misses may have been allocated or
+            // returned.
+            missListener->demandL2MissDetected(
+                when, l2Mshrs.demandOutstanding());
         });
     }
     events.schedule(tags_done, [this, l2_block](Tick when) {

@@ -49,8 +49,16 @@ class MissListener
   public:
     virtual ~MissListener() = default;
 
-    /** A demand L2 miss was detected (L2 hit latency after access). */
-    virtual void demandL2MissDetected(Tick when) = 0;
+    /**
+     * A demand L2 miss was detected (L2 hit latency after access).
+     * @param outstanding demand L2 misses in flight, including this
+     *        one. The hierarchy's count is authoritative: demand
+     *        escalations of prefetched blocks produce a return with
+     *        no matching detection, so listeners must not keep a
+     *        local count.
+     */
+    virtual void demandL2MissDetected(Tick when,
+                                      std::uint32_t outstanding) = 0;
 
     /**
      * A demand L2 miss's data returned.

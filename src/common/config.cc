@@ -119,4 +119,14 @@ Config::unusedKeys() const
     return unused;
 }
 
+std::vector<std::pair<std::string, std::string>>
+Config::items() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(values.size());
+    for (const auto &[key, value] : values)
+        out.emplace_back(key, value);
+    return out;
+}
+
 } // namespace vsv

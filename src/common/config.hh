@@ -15,6 +15,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vsv
@@ -49,6 +50,12 @@ class Config
 
     /** Keys that were set but never read (sweep-typo detection). */
     std::vector<std::string> unusedKeys() const;
+
+    /**
+     * All key/value pairs, sorted by key, without marking them
+     * consumed - for echoing the configuration into run manifests.
+     */
+    std::vector<std::pair<std::string, std::string>> items() const;
 
   private:
     const std::string *find(const std::string &key) const;

@@ -1,5 +1,7 @@
 #include "experiment.hh"
 
+#include <chrono>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -8,6 +10,64 @@
 
 namespace vsv
 {
+
+ExperimentArgs
+parseExperimentArgs(int argc, char **argv,
+                    std::uint64_t default_instructions,
+                    std::uint64_t default_warmup,
+                    const std::vector<std::string> &default_benchmarks)
+{
+    ExperimentArgs args;
+    args.positional = args.config.parseArgs(argc, argv);
+    args.instructions =
+        args.config.getUInt("instructions", default_instructions);
+    args.warmup = args.config.getUInt("warmup", default_warmup);
+    args.jobs =
+        static_cast<unsigned>(args.config.getUInt("jobs", 1));
+    args.jsonPath = args.config.getString("json", "");
+    args.seed = args.config.getUInt("seed", 0);
+
+    const std::string raw = args.config.getString("benchmarks", "");
+    if (raw.empty()) {
+        args.benchmarks = default_benchmarks;
+    } else {
+        std::stringstream ss(raw);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            args.benchmarks.push_back(item);
+    }
+    return args;
+}
+
+std::vector<SweepOutcome>
+runSweep(const ExperimentArgs &args, const std::string &tool,
+         const std::vector<SweepJob> &jobs)
+{
+    SweepRunner runner(args.jobs);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<SweepOutcome> outcomes = runner.run(jobs);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    if (!args.jsonPath.empty()) {
+        SweepManifest manifest;
+        manifest.tool = tool;
+        manifest.seed = args.seed;
+        manifest.threads = runner.threads();
+        manifest.wallSeconds = wall_seconds;
+        manifest.config = args.config.items();
+
+        std::ofstream os(args.jsonPath);
+        if (!os)
+            fatal("cannot open --json output file: " + args.jsonPath);
+        writeSweepJson(os, manifest, outcomes);
+        inform("wrote " + std::to_string(outcomes.size()) +
+               " runs to " + args.jsonPath);
+    }
+    return outcomes;
+}
 
 SimulationOptions
 makeOptions(const std::string &benchmark, bool timekeeping,

@@ -1,8 +1,10 @@
 /**
  * @file
  * Experiment plumbing shared by the per-figure benchmark binaries:
- * option construction, baseline-vs-VSV comparison, and fixed-width
- * table output matching the rows the paper reports.
+ * the common command-line parser (--instructions/--warmup/
+ * --benchmarks/--jobs/--json/--seed), option construction,
+ * baseline-vs-VSV comparison, sweep execution, and fixed-width table
+ * output matching the rows the paper reports.
  */
 
 #ifndef VSV_HARNESS_EXPERIMENT_HH
@@ -12,10 +14,48 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hh"
 #include "harness/simulator.hh"
+#include "harness/sweep.hh"
 
 namespace vsv
 {
+
+/**
+ * The command-line surface every experiment binary shares. Extra
+ * binary-specific keys stay readable through `config`.
+ */
+struct ExperimentArgs
+{
+    Config config;
+    std::vector<std::string> positional;
+    std::uint64_t instructions = 0;
+    std::uint64_t warmup = 0;
+    /** Worker threads for the sweep (--jobs, default 1; 0 = auto). */
+    unsigned jobs = 1;
+    /** When nonempty, write the sweep JSON document here (--json). */
+    std::string jsonPath;
+    /** Sweep seed mixed into every run's profile seed (--seed). */
+    std::uint64_t seed = 0;
+    /** --benchmarks=a,b,c, or the binary's default set. */
+    std::vector<std::string> benchmarks;
+};
+
+/** Parse the shared flags; unknown keys stay pending in `config`. */
+ExperimentArgs parseExperimentArgs(
+    int argc, char **argv, std::uint64_t default_instructions,
+    std::uint64_t default_warmup,
+    const std::vector<std::string> &default_benchmarks = {});
+
+/**
+ * Execute the grid on a SweepRunner sized by args.jobs and, when
+ * --json was given, write the machine-readable sweep document
+ * (manifest + per-run results and stats). Outcomes come back in
+ * submission order regardless of thread count.
+ */
+std::vector<SweepOutcome> runSweep(const ExperimentArgs &args,
+                                   const std::string &tool,
+                                   const std::vector<SweepJob> &jobs);
 
 /** Baseline/VSV pair for one benchmark and one VSV configuration. */
 struct VsvComparison

@@ -25,7 +25,7 @@ Simulator::Simulator(const SimulationOptions &options)
     predictor = std::make_unique<BranchPredictor>(options.branch);
     if (!options.tracePath.empty()) {
         traceReader = std::make_unique<TraceReader>(options.tracePath,
-                                                    /*loop=*/true);
+                                                    options.traceLoop);
         source = traceReader.get();
     } else {
         workload = std::make_unique<WorkloadGenerator>(options.profile);
@@ -45,6 +45,8 @@ Simulator::Simulator(const SimulationOptions &options)
         tk->regStats(registry, "tk");
     if (stride)
         stride->regStats(registry, "stride");
+    if (traceReader)
+        traceReader->regStats(registry, "trace");
 }
 
 Simulator::~Simulator() = default;

@@ -47,11 +47,18 @@ struct SimulationOptions
 {
     WorkloadProfile profile;
     /**
-     * When set, replay this binary trace file (looping) instead of
-     * generating the profile's synthetic stream; the profile is still
-     * used for region pre-warm footprints and reporting.
+     * When set, replay this binary trace file instead of generating
+     * the profile's synthetic stream; the profile is still used for
+     * region pre-warm footprints and reporting.
      */
     std::string tracePath;
+    /**
+     * Wrap to the trace's first record when it is exhausted (false
+     * makes exhaustion fatal). Every wrap is counted in the
+     * `trace.wraps` stat so silently re-played traces are visible in
+     * results.
+     */
+    bool traceLoop = true;
     std::uint64_t warmupInstructions = 300000;
     std::uint64_t measureInstructions = 1000000;
     bool timekeeping = false;  ///< enable the TK hardware prefetcher

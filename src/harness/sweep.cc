@@ -1,0 +1,164 @@
+#include "sweep.hh"
+
+#include <atomic>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+
+#ifndef VSV_GIT_DESCRIBE
+#define VSV_GIT_DESCRIBE "unknown"
+#endif
+
+namespace vsv
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : threads_(jobs)
+{
+    if (threads_ == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads_ = hw != 0 ? hw : 1;
+    }
+}
+
+SweepOutcome
+SweepRunner::runOne(const SweepJob &job)
+{
+    Simulator sim(job.options);
+    SweepOutcome outcome;
+    outcome.id = job.id;
+    outcome.result = sim.run();
+    outcome.scalars = sim.stats().scalarMap();
+    std::ostringstream json;
+    sim.stats().dumpJson(json);
+    outcome.statsJson = json.str();
+    std::ostringstream text;
+    sim.stats().dump(text);
+    outcome.statsText = text.str();
+    return outcome;
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob> &jobs)
+{
+    std::vector<SweepOutcome> outcomes(jobs.size());
+    if (jobs.empty())
+        return outcomes;
+
+    // Workers pull the next un-run index; each outcome lands in its
+    // submission slot, so the result vector is schedule-independent.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&jobs, &outcomes, &next]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            outcomes[i] = runOne(jobs[i]);
+        }
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, jobs.size()));
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    return outcomes;
+}
+
+std::uint64_t
+mixSeed(std::uint64_t sweepSeed, std::uint64_t profileSeed)
+{
+    if (sweepSeed == 0)
+        return profileSeed;
+    return splitmix64(splitmix64(sweepSeed) ^ profileSeed);
+}
+
+void
+applyRunSeed(SimulationOptions &options, std::uint64_t sweepSeed)
+{
+    options.profile.seed = mixSeed(sweepSeed, options.profile.seed);
+}
+
+std::string_view
+buildGitDescribe()
+{
+    return VSV_GIT_DESCRIBE;
+}
+
+namespace
+{
+
+void
+writeResultJson(std::ostream &os, const SimulationResult &r)
+{
+    os << "{\"benchmark\":\"" << jsonEscape(r.benchmark) << '"'
+       << ",\"instructions\":" << r.instructions
+       << ",\"ticks\":" << r.ticks
+       << ",\"pipelineCycles\":" << r.pipelineCycles
+       << ",\"ipc\":" << jsonNumber(r.ipc)
+       << ",\"mr\":" << jsonNumber(r.mr)
+       << ",\"energyPj\":" << jsonNumber(r.energyPj)
+       << ",\"avgPowerW\":" << jsonNumber(r.avgPowerW)
+       << ",\"downTransitions\":" << r.downTransitions
+       << ",\"upTransitions\":" << r.upTransitions
+       << ",\"lowModeFraction\":" << jsonNumber(r.lowModeFraction)
+       << '}';
+}
+
+} // namespace
+
+void
+writeSweepJson(std::ostream &os, const SweepManifest &manifest,
+               const std::vector<SweepOutcome> &outcomes)
+{
+    os << "{\"manifest\":{"
+       << "\"tool\":\"" << jsonEscape(manifest.tool) << '"'
+       << ",\"gitDescribe\":\"" << jsonEscape(buildGitDescribe()) << '"'
+       << ",\"seed\":" << manifest.seed
+       << ",\"threads\":" << manifest.threads
+       << ",\"wallSeconds\":" << jsonNumber(manifest.wallSeconds)
+       << ",\"config\":{";
+    bool first = true;
+    for (const auto &[key, value] : manifest.config) {
+        os << (first ? "" : ",") << '"' << jsonEscape(key) << "\":\""
+           << jsonEscape(value) << '"';
+        first = false;
+    }
+    os << "}},\"runs\":[";
+    first = true;
+    for (const auto &outcome : outcomes) {
+        os << (first ? "" : ",") << "{\"id\":\"" << jsonEscape(outcome.id)
+           << "\",\"result\":";
+        writeResultJson(os, outcome.result);
+        // statsJson is already a complete JSON object.
+        os << ",\"stats\":" << outcome.statsJson << '}';
+        first = false;
+    }
+    os << "]}\n";
+}
+
+} // namespace vsv

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Parallel sweep runner: executes a grid of (benchmark x VSV config)
+ * simulations across a fixed-size thread pool and collects per-run
+ * results plus full statistics snapshots, in submission order.
+ *
+ * Determinism contract: every run is a pure function of its
+ * SimulationOptions - all randomness comes from the workload
+ * profile's seed (optionally perturbed by mixSeed, which depends only
+ * on the sweep seed and the profile seed, never on thread schedule) -
+ * and outcomes are stored by job index. A sweep therefore produces
+ * bit-identical stats whether it runs on 1 thread or 8.
+ *
+ * The runner also owns the machine-readable output path: one JSON
+ * document per sweep with a run manifest (tool, git-describe,
+ * configuration echo, seed, thread count, wall-clock) and, per run,
+ * the whole-run result plus every registered scalar and distribution
+ * (see DESIGN.md for the schema).
+ */
+
+#ifndef VSV_HARNESS_SWEEP_HH
+#define VSV_HARNESS_SWEEP_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/simulator.hh"
+
+namespace vsv
+{
+
+/** One unit of sweep work: a fully specified simulation. */
+struct SweepJob
+{
+    /** Stable identifier, e.g. "mcf/vsv-fsm"; unique within a sweep. */
+    std::string id;
+    SimulationOptions options;
+};
+
+/** What one finished job leaves behind. */
+struct SweepOutcome
+{
+    std::string id;
+    SimulationResult result;
+    /** Every registered scalar, by dotted name. */
+    std::map<std::string, double> scalars;
+    /** The full StatRegistry::dumpJson document for this run. */
+    std::string statsJson;
+    /** The full StatRegistry::dump text (for --stats style output). */
+    std::string statsText;
+};
+
+/** Fixed-size thread pool executing SweepJobs in any order. */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 picks the hardware concurrency */
+    explicit SweepRunner(unsigned jobs);
+
+    /**
+     * Run every job; blocks until all are done.
+     * @return outcomes in submission order, independent of schedule
+     */
+    std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs);
+
+    unsigned threads() const { return threads_; }
+
+    /** Run one job inline (also the per-worker body). */
+    static SweepOutcome runOne(const SweepJob &job);
+
+  private:
+    unsigned threads_;
+};
+
+/**
+ * Deterministic per-run seed derivation (splitmix64 mixing): depends
+ * only on the two seeds, so any execution order reproduces it. A
+ * sweep seed of 0 means "leave the profile seed alone", keeping the
+ * published figure numbers stable by default.
+ */
+std::uint64_t mixSeed(std::uint64_t sweepSeed, std::uint64_t profileSeed);
+
+/** Apply mixSeed to a run's workload profile (no-op when seed is 0). */
+void applyRunSeed(SimulationOptions &options, std::uint64_t sweepSeed);
+
+/** What the sweep JSON records about the campaign itself. */
+struct SweepManifest
+{
+    std::string tool;                 ///< producing binary's name
+    std::uint64_t seed = 0;           ///< --seed (0 = profile defaults)
+    unsigned threads = 1;             ///< worker threads actually used
+    double wallSeconds = 0.0;         ///< sweep wall-clock duration
+    /** Echo of the command-line configuration (Config::items()). */
+    std::vector<std::pair<std::string, std::string>> config;
+};
+
+/** The source tree's `git describe --always --dirty` at build time. */
+std::string_view buildGitDescribe();
+
+/**
+ * Write the sweep document: `{"manifest": {...}, "runs": [...]}` with
+ * one entry per outcome carrying the whole-run result and the full
+ * stats dump.
+ */
+void writeSweepJson(std::ostream &os, const SweepManifest &manifest,
+                    const std::vector<SweepOutcome> &outcomes);
+
+} // namespace vsv
+
+#endif // VSV_HARNESS_SWEEP_HH

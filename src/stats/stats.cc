@@ -1,9 +1,49 @@
 #include "stats.hh"
 
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 namespace vsv
 {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    // %.17g round-trips every double; trim to the shortest exact form
+    // is not worth the code here.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
 
 Distribution::Distribution(std::uint64_t min, std::uint64_t max,
                            std::uint64_t bucket_size)
@@ -102,6 +142,49 @@ StatRegistry::dump(std::ostream &os) const
             os << "  " << name << "::overflow "
                << entry.stat->overflow() << '\n';
     }
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{\"scalars\":{";
+    bool first = true;
+    for (const auto &[name, entry] : scalars) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name)
+           << "\":" << jsonNumber(entry.stat->value());
+        first = false;
+    }
+    os << "},\"distributions\":{";
+    first = true;
+    for (const auto &[name, entry] : dists) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name) << "\":{"
+           << "\"samples\":" << entry.stat->samples()
+           << ",\"mean\":" << jsonNumber(entry.stat->mean())
+           << ",\"underflow\":" << entry.stat->underflow()
+           << ",\"overflow\":" << entry.stat->overflow()
+           << ",\"buckets\":{";
+        const auto &buckets = entry.stat->buckets();
+        bool first_bucket = true;
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            if (buckets[i] == 0)
+                continue;
+            os << (first_bucket ? "" : ",") << '"'
+               << entry.stat->bucketLow(i) << "\":" << buckets[i];
+            first_bucket = false;
+        }
+        os << "}}";
+        first = false;
+    }
+    os << "}}";
+}
+
+std::map<std::string, double>
+StatRegistry::scalarMap() const
+{
+    std::map<std::string, double> values;
+    for (const auto &[name, entry] : scalars)
+        values.emplace(name, entry.stat->value());
+    return values;
 }
 
 } // namespace vsv

@@ -16,12 +16,21 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/logging.hh"
 
 namespace vsv
 {
+
+/**
+ * Minimal JSON emission helpers shared by the stats dump and the
+ * sweep-runner manifest (no external JSON dependency).
+ */
+std::string jsonEscape(std::string_view s);
+/** Finite doubles in full round-trip precision; non-finite -> null. */
+std::string jsonNumber(double value);
 
 /** A monotonically accumulated counter / sum. */
 class Scalar
@@ -98,6 +107,17 @@ class StatRegistry
 
     /** Dump all stats, sorted by name. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Dump all stats as one JSON object,
+     * `{"scalars": {...}, "distributions": {...}}`, for the sweep
+     * runner's machine-readable results (see DESIGN.md for the
+     * schema). Every registered scalar appears, sorted by name.
+     */
+    void dumpJson(std::ostream &os) const;
+
+    /** Snapshot of every registered scalar's current value. */
+    std::map<std::string, double> scalarMap() const;
 
   private:
     struct ScalarEntry

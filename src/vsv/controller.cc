@@ -32,6 +32,11 @@ VsvController::VsvController(const VsvConfig &config, PowerModel &power)
                "VDDL must be below VDDH");
     rampTicks = rail.swingTicks(config.vddLow, config.vddHigh);
     VSV_ASSERT(rampTicks > 0, "zero-length VDD ramp");
+    // A divider of 1 would clock the pipeline at full rate while the
+    // rail sits at VDDL - the functionality fault the whole design
+    // exists to avoid.
+    VSV_ASSERT(config.clockDivider >= 2,
+               "low-mode clock divider must be at least 2");
 }
 
 void
@@ -177,7 +182,7 @@ VsvController::beginTick(Tick now)
     if (full_speed)
         return true;
     if (now >= nextEdge) {
-        nextEdge = now + 2;
+        nextEdge = now + config.clockDivider;
         return true;
     }
     return false;
@@ -199,10 +204,13 @@ VsvController::observeIssueRate(std::uint32_t issued)
 }
 
 void
-VsvController::demandL2MissDetected(Tick when)
+VsvController::demandL2MissDetected(Tick when, std::uint32_t outstanding)
 {
     lastTick = when;
-    ++outstandingDemand;
+    // Mirror the hierarchy's authoritative count (see controller.hh);
+    // a local increment would drift when a prefetched block's demand
+    // escalation later returns without a matching detection.
+    outstandingDemand = outstanding;
     if (!config.enabled || state_ != VsvState::High)
         return;
 
@@ -220,8 +228,6 @@ void
 VsvController::demandL2MissReturned(Tick when, std::uint32_t outstanding)
 {
     lastTick = when;
-    // The hierarchy's count is authoritative (it includes demand
-    // escalations of prefetched blocks that had no detection event).
     outstandingDemand = outstanding;
     if (!config.enabled)
         return;

@@ -77,6 +77,14 @@ struct VsvConfig
     // Circuit timings, in ticks (= ns at 1 GHz). Section 3.2/3.4.
     std::uint32_t ctrlDistTicks = 2;
     std::uint32_t clockTreeTicks = 2;
+    /**
+     * Divided-clock ratio in the low-power states: the pipeline sees
+     * one edge every `clockDivider` full-speed ticks. The paper's
+     * design point is 2 (half speed at VDDL, Section 3.3); frequency
+     * sweeps change it here so the divided clock can never silently
+     * desynchronize from the configured ratio.
+     */
+    std::uint32_t clockDivider = 2;
     double vddHigh = 1.8;
     double vddLow = 1.2;
     double slewVoltsPerTick = 0.05;  ///< 12-tick swing for 0.6 V
@@ -117,7 +125,8 @@ class VsvController : public MissListener
     void observeIssueRate(std::uint32_t issued);
 
     // MissListener interface (wired to the memory hierarchy).
-    void demandL2MissDetected(Tick when) override;
+    void demandL2MissDetected(Tick when,
+                              std::uint32_t outstanding) override;
     void demandL2MissReturned(Tick when,
                               std::uint32_t outstanding) override;
 
@@ -166,7 +175,12 @@ class VsvController : public MissListener
     bool halfClock = false;
     Tick nextEdge = 0;       ///< next pipeline edge when half-clocked
 
-    /** Best-known number of outstanding demand L2 misses. */
+    /**
+     * Outstanding demand L2 misses, mirrored from the hierarchy's
+     * authoritative count on every detection and return event (a
+     * local increment would drift: demand escalations of prefetched
+     * blocks fire a return with no matching detection).
+     */
     std::uint32_t outstandingDemand = 0;
     /** A return arrived mid-down-transition; replay on entering Low. */
     bool pendingReturnReplay = false;

@@ -144,6 +144,7 @@ TraceReader::next()
                   " ops: " + path);
         }
         rewindToFirstRecord();
+        ++wraps_;
     }
     TraceRecord rec{};
     if (std::fread(&rec, sizeof(rec), 1, file) != 1)
@@ -151,6 +152,14 @@ TraceReader::next()
     --remaining;
     ++consumed;
     return decode(rec);
+}
+
+void
+TraceReader::regStats(StatRegistry &registry,
+                      const std::string &prefix) const
+{
+    registry.registerScalar(prefix + ".wraps", &wraps_,
+                            "times the trace replay wrapped around");
 }
 
 } // namespace vsv

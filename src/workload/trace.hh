@@ -26,6 +26,7 @@
 #include <string>
 
 #include "isa/microop.hh"
+#include "stats/stats.hh"
 
 namespace vsv
 {
@@ -101,6 +102,15 @@ class TraceReader : public TraceSource
     std::uint64_t records() const { return total; }
     std::uint64_t replayed() const { return consumed; }
 
+    /** Times the replay wrapped back to the first record. */
+    std::uint64_t wraps() const
+    {
+        return static_cast<std::uint64_t>(wraps_.value());
+    }
+
+    /** Expose the wrap count so silent re-plays show up in results. */
+    void regStats(StatRegistry &registry, const std::string &prefix) const;
+
   private:
     void rewindToFirstRecord();
 
@@ -110,6 +120,7 @@ class TraceReader : public TraceSource
     std::uint64_t remaining = 0;
     std::uint64_t consumed = 0;
     bool loop;
+    Scalar wraps_;
 };
 
 } // namespace vsv

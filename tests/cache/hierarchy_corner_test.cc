@@ -55,7 +55,11 @@ TEST(HierarchyCornerTest, NoListenerIsFine)
 class TickListener : public MissListener
 {
   public:
-    void demandL2MissDetected(Tick when) override { detectedAt = when; }
+    void
+    demandL2MissDetected(Tick when, std::uint32_t) override
+    {
+        detectedAt = when;
+    }
     void demandL2MissReturned(Tick when, std::uint32_t) override
     {
         returnedAt = when;

@@ -23,7 +23,12 @@ namespace
 class CountingListener : public MissListener
 {
   public:
-    void demandL2MissDetected(Tick) override { ++detections; }
+    void
+    demandL2MissDetected(Tick, std::uint32_t outstanding) override
+    {
+        ++detections;
+        lastDetectOutstanding = outstanding;
+    }
     void
     demandL2MissReturned(Tick, std::uint32_t outstanding) override
     {
@@ -33,6 +38,7 @@ class CountingListener : public MissListener
 
     int detections = 0;
     int returns = 0;
+    std::uint32_t lastDetectOutstanding = 0;
     std::uint32_t lastOutstanding = 0;
 };
 

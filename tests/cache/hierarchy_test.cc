@@ -28,9 +28,9 @@ class RecordingListener : public MissListener
     };
 
     void
-    demandL2MissDetected(Tick when) override
+    demandL2MissDetected(Tick when, std::uint32_t outstanding) override
     {
-        events.push_back({true, when, 0});
+        events.push_back({true, when, outstanding});
     }
 
     void

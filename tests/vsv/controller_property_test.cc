@@ -45,7 +45,7 @@ TEST_P(ControllerPropertyTest, InvariantsUnderRandomTraffic)
         // Random demand miss traffic.
         if (rng.chance(0.02)) {
             ++outstanding;
-            ctrl.demandL2MissDetected(now);
+            ctrl.demandL2MissDetected(now, outstanding);
         }
         if (outstanding > 0 && rng.chance(0.015)) {
             --outstanding;
@@ -114,7 +114,7 @@ TEST(ControllerStressTest, NeverWedgesInLowForever)
     PowerModel power;
     VsvController ctrl(config, power);
 
-    ctrl.demandL2MissDetected(0);
+    ctrl.demandL2MissDetected(0, 3);
     Tick now = 0;
     for (; now < 100; ++now)
         ctrl.beginTick(now);

@@ -66,7 +66,7 @@ TEST(VsvControllerTest, DisabledControllerNeverLeavesHigh)
     VsvConfig config;
     config.enabled = false;
     Stepper s(config);
-    s.ctrl.demandL2MissDetected(0);
+    s.ctrl.demandL2MissDetected(0, 1);
     for (int i = 0; i < 100; ++i) {
         EXPECT_TRUE(s.step(0));
         EXPECT_EQ(s.ctrl.state(), VsvState::High);
@@ -81,7 +81,7 @@ TEST(VsvControllerTest, NoFsmDownTimelineMatchesFigure2)
     for (int i = 0; i < 5; ++i)
         s.step();
 
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 1);
     EXPECT_EQ(s.ctrl.state(), VsvState::DownClockDist);
 
     // 4 ticks of clock distribution: still full speed, still VDDH.
@@ -109,7 +109,7 @@ TEST(VsvControllerTest, NoFsmDownTimelineMatchesFigure2)
 TEST(VsvControllerTest, LowModeRunsAtHalfClock)
 {
     Stepper s(noFsm());
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 1);
     for (int i = 0; i < 20; ++i)
         s.step();
     ASSERT_EQ(s.ctrl.state(), VsvState::Low);
@@ -125,7 +125,7 @@ TEST(VsvControllerTest, LowModeRunsAtHalfClock)
 TEST(VsvControllerTest, UpTimelineMatchesFigure3)
 {
     Stepper s(noFsm());
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 1);
     for (int i = 0; i < 20; ++i)
         s.step();
     ASSERT_EQ(s.ctrl.state(), VsvState::Low);
@@ -152,7 +152,7 @@ TEST(VsvControllerTest, UpTimelineMatchesFigure3)
 TEST(VsvControllerTest, DownFsmRequiresConsecutiveZeroIssue)
 {
     Stepper s(withFsm());
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 1);
     EXPECT_EQ(s.ctrl.state(), VsvState::High);  // armed, not fired
 
     // Two idle cycles, then an issue: streak broken.
@@ -171,7 +171,7 @@ TEST(VsvControllerTest, DownFsmRequiresConsecutiveZeroIssue)
 TEST(VsvControllerTest, DownFsmExpiresWhenIlpIsHigh)
 {
     Stepper s(withFsm());
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 1);
     for (int i = 0; i < 20; ++i)
         s.step(8);  // issuing every cycle
     EXPECT_EQ(s.ctrl.state(), VsvState::High);
@@ -181,7 +181,7 @@ TEST(VsvControllerTest, DownFsmExpiresWhenIlpIsHigh)
 TEST(VsvControllerTest, UpFsmFiresOnSustainedIssue)
 {
     Stepper s(withFsm());
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 2);
     for (int i = 0; i < 3; ++i)
         s.step(0);  // fire down-FSM
     for (int i = 0; i < 20; ++i)
@@ -202,7 +202,7 @@ TEST(VsvControllerTest, UpFsmFiresOnSustainedIssue)
 TEST(VsvControllerTest, UpFsmStaysLowWhenNothingIssues)
 {
     Stepper s(withFsm());
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 3);
     for (int i = 0; i < 25; ++i)
         s.step(0);
     ASSERT_EQ(s.ctrl.state(), VsvState::Low);
@@ -218,7 +218,7 @@ TEST(VsvControllerTest, LastReturnAlwaysRaisesEvenUnderLastR)
     VsvConfig config = noFsm();
     config.upPolicy = UpPolicy::LastR;
     Stepper s(config);
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 4);
     for (int i = 0; i < 20; ++i)
         s.step();
     ASSERT_EQ(s.ctrl.state(), VsvState::Low);
@@ -238,7 +238,7 @@ TEST(VsvControllerTest, FirstRRaisesOnAnyReturn)
     VsvConfig config = noFsm();
     config.upPolicy = UpPolicy::FirstR;
     Stepper s(config);
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 6);
     for (int i = 0; i < 20; ++i)
         s.step();
     ASSERT_EQ(s.ctrl.state(), VsvState::Low);
@@ -250,7 +250,7 @@ TEST(VsvControllerTest, FirstRRaisesOnAnyReturn)
 TEST(VsvControllerTest, ReturnDuringDownTransitionReplaysInLow)
 {
     Stepper s(noFsm());
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 1);
     s.step();
     ASSERT_EQ(s.ctrl.state(), VsvState::DownClockDist);
 
@@ -270,7 +270,7 @@ TEST(VsvControllerTest, ReturnDuringDownTransitionReplaysInLow)
 TEST(VsvControllerTest, DetectionDuringUpTransitionRearmsInHigh)
 {
     Stepper s(noFsm());
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 1);
     for (int i = 0; i < 20; ++i)
         s.step();
     ASSERT_EQ(s.ctrl.state(), VsvState::Low);
@@ -279,17 +279,86 @@ TEST(VsvControllerTest, DetectionDuringUpTransitionRearmsInHigh)
 
     // A new miss is detected while ramping up; with threshold 0 the
     // controller should fall back down right after reaching High.
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 1);
     int safety = 0;
     while (s.ctrl.downTransitions() < 2 && safety++ < 60)
         s.step();
     EXPECT_EQ(s.ctrl.downTransitions(), 2u);
 }
 
+TEST(VsvControllerTest, ReplayUnderLastRWaitsForTheLastReturn)
+{
+    // A non-final return that arrives mid-down-transition is replayed
+    // on entering Low; under Last-R it must NOT raise until the last
+    // outstanding miss actually returns.
+    VsvConfig config = noFsm();
+    config.upPolicy = UpPolicy::LastR;
+    Stepper s(config);
+    s.ctrl.demandL2MissDetected(s.now, 2);
+    s.step();
+    ASSERT_EQ(s.ctrl.state(), VsvState::DownClockDist);
+
+    // One of the two misses returns while still transitioning down.
+    s.ctrl.demandL2MissReturned(s.now, 1);
+
+    // The replay on entering Low sees outstanding > 0 and stays put.
+    for (int i = 0; i < 40; ++i)
+        s.step(2);
+    EXPECT_EQ(s.ctrl.state(), VsvState::Low);
+    EXPECT_EQ(s.ctrl.upTransitions(), 0u);
+
+    // The genuine last return raises immediately.
+    s.ctrl.demandL2MissReturned(s.now, 0);
+    EXPECT_EQ(s.ctrl.state(), VsvState::UpClockDist);
+}
+
+TEST(VsvControllerTest, ReplayUnderFsmArmsTheUpMonitor)
+{
+    // Same replay situation under the FSM policy: entering Low must
+    // arm the up-FSM, which then fires after the usual threshold of
+    // consecutive issuing half-speed cycles.
+    Stepper s(withFsm());
+    s.ctrl.demandL2MissDetected(s.now, 2);
+    for (int i = 0; i < 3; ++i)
+        s.step(0);  // fire the down-FSM
+    ASSERT_EQ(s.ctrl.state(), VsvState::DownClockDist);
+
+    s.ctrl.demandL2MissReturned(s.now, 1);
+
+    // Issue on every half-speed cycle: once Low, three qualifying
+    // cycles raise the supply even though one miss is outstanding.
+    int safety = 0;
+    while (s.ctrl.state() != VsvState::UpClockDist && safety++ < 60)
+        s.step(2);
+    EXPECT_EQ(s.ctrl.state(), VsvState::UpClockDist);
+    EXPECT_EQ(s.ctrl.downTransitions(), 1u);
+    EXPECT_EQ(s.ctrl.upTransitions(), 1u);
+}
+
+TEST(VsvControllerTest, QuarterRateClockDividerSlowsLowMode)
+{
+    // The low-mode clock rate follows the configured divider rather
+    // than a hard-coded half rate.
+    VsvConfig config = noFsm();
+    config.clockDivider = 4;
+    Stepper s(config);
+    s.ctrl.demandL2MissDetected(s.now, 1);
+    for (int i = 0; i < 30; ++i)
+        s.step();
+    ASSERT_EQ(s.ctrl.state(), VsvState::Low);
+
+    int edges = 0;
+    for (int i = 0; i < 40; ++i) {
+        if (s.step())
+            ++edges;
+    }
+    EXPECT_EQ(edges, 10);
+}
+
 TEST(VsvControllerTest, RampChargesDualRailEnergy)
 {
     Stepper s(noFsm());
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 1);
     for (int i = 0; i < 20; ++i)
         s.step();
     ASSERT_EQ(s.ctrl.state(), VsvState::Low);
@@ -318,7 +387,7 @@ TEST(VsvControllerTest, StateTicksAccounting)
     Stepper s(noFsm());
     for (int i = 0; i < 10; ++i)
         s.step();
-    s.ctrl.demandL2MissDetected(s.now);
+    s.ctrl.demandL2MissDetected(s.now, 1);
     for (int i = 0; i < 30; ++i)
         s.step();
 

@@ -64,6 +64,20 @@ TEST(DownFsmTest, ThresholdOneFiresOnFirstZeroCycle)
     EXPECT_EQ(fsm.observe(0), MonitorOutcome::Fired);
 }
 
+TEST(DownFsmTest, ThresholdAbovePeriodCanNeverFire)
+{
+    // A misconfigured threshold larger than the monitoring period can
+    // never accumulate enough qualifying cycles: the machine must
+    // watch the whole period and then expire, never fire.
+    IssueMonitorFsm fsm({12, 10}, true);
+    fsm.arm();
+    for (int i = 0; i < 9; ++i)
+        ASSERT_EQ(fsm.observe(0), MonitorOutcome::Watching) << i;
+    EXPECT_EQ(fsm.observe(0), MonitorOutcome::Expired);
+    EXPECT_FALSE(fsm.armed());
+    EXPECT_EQ(fsm.fires(), 0u);
+}
+
 TEST(UpFsmTest, FiresOnConsecutiveIssuingCycles)
 {
     IssueMonitorFsm fsm({3, 10}, /*count_zero_issue=*/false);

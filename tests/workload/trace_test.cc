@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/stats.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
 
@@ -90,6 +91,30 @@ TEST(TraceTest, LoopingWrapsToTheStart)
         EXPECT_EQ(got.pc, sampleOp(i % 10).pc) << i;
     }
     EXPECT_EQ(reader.replayed(), 35u);
+}
+
+TEST(TraceTest, WrapCountIsTrackedAndExported)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        for (int i = 0; i < 10; ++i)
+            writer.append(sampleOp(i));
+    }
+    TraceReader reader(tmp.path(), /*loop=*/true);
+    StatRegistry registry;
+    reader.regStats(registry, "trace");
+
+    for (int i = 0; i < 35; ++i)
+        reader.next();
+    // 35 reads over a 10-record trace rewind three times.
+    EXPECT_EQ(reader.wraps(), 3u);
+    EXPECT_DOUBLE_EQ(registry.scalarValue("trace.wraps"), 3.0);
+
+    TraceReader once(tmp.path(), /*loop=*/false);
+    for (int i = 0; i < 10; ++i)
+        once.next();
+    EXPECT_EQ(once.wraps(), 0u);
 }
 
 TEST(TraceTest, NonLoopingExhaustionIsFatal)
