@@ -35,9 +35,7 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs;
     for (const auto &bench : args.benchmarks) {
         for (std::size_t f = 0; f < nf; ++f) {
-            SimulationOptions base = makeOptions(bench, false,
-                                                 args.instructions,
-                                                 args.warmup);
+            SimulationOptions base = makeOptions(args, bench);
             applyRunSeed(base, args.seed);
             base.power.leakageFraction = fractions[f];
             const std::string stem =

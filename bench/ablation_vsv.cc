@@ -74,9 +74,7 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs;
     for (std::size_t v = 0; v < variants.size(); ++v) {
         for (const auto &bench : args.benchmarks) {
-            SimulationOptions base = makeOptions(bench, false,
-                                                 args.instructions,
-                                                 args.warmup);
+            SimulationOptions base = makeOptions(args, bench);
             applyRunSeed(base, args.seed);
             variants[v].apply(base);
             base.vsv.enabled = false;

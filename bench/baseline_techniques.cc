@@ -45,9 +45,7 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs;
     for (const Variant &variant : variants) {
         for (const auto &bench : args.benchmarks) {
-            SimulationOptions base = makeOptions(bench, false,
-                                                 args.instructions,
-                                                 args.warmup);
+            SimulationOptions base = makeOptions(args, bench);
             applyRunSeed(base, args.seed);
             base.power.gating = variant.dcg ? GatingStyle::Dcg
                                             : GatingStyle::Simple;

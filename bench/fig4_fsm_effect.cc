@@ -40,9 +40,7 @@ main(int argc, char **argv)
     // so the comparison is apples to apples.
     std::vector<SweepJob> jobs;
     for (const auto &name : args.benchmarks) {
-        SimulationOptions base = makeOptions(name, false,
-                                             args.instructions,
-                                             args.warmup);
+        SimulationOptions base = makeOptions(args, name);
         applyRunSeed(base, args.seed);
         jobs.push_back({name + "/base", base});
 

@@ -25,9 +25,7 @@ main(int argc, char **argv)
     // Five runs per benchmark: the baseline plus one per threshold.
     std::vector<SweepJob> jobs;
     for (const auto &name : args.benchmarks) {
-        SimulationOptions base = makeOptions(name, false,
-                                             args.instructions,
-                                             args.warmup);
+        SimulationOptions base = makeOptions(args, name);
         applyRunSeed(base, args.seed);
         jobs.push_back({name + "/base", base});
         for (const std::uint32_t threshold : thresholds) {

@@ -38,9 +38,7 @@ main(int argc, char **argv)
     // Six runs per benchmark: the baseline plus one per up-policy.
     std::vector<SweepJob> jobs;
     for (const auto &name : args.benchmarks) {
-        SimulationOptions base = makeOptions(name, false,
-                                             args.instructions,
-                                             args.warmup);
+        SimulationOptions base = makeOptions(args, name);
         applyRunSeed(base, args.seed);
         jobs.push_back({name + "/base", base});
         for (const Variant &variant : variants) {

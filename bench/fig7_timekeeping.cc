@@ -42,9 +42,7 @@ main(int argc, char **argv)
     // VSV+TK vs base+TK, as in the paper.
     std::vector<SweepJob> jobs;
     for (const auto &name : args.benchmarks) {
-        SimulationOptions base = makeOptions(name, false,
-                                             args.instructions,
-                                             args.warmup);
+        SimulationOptions base = makeOptions(args, name);
         applyRunSeed(base, args.seed);
         jobs.push_back({name + "/base", base});
 
@@ -55,6 +53,7 @@ main(int argc, char **argv)
         SimulationOptions tk_base = makeOptions(name, true,
                                                 args.instructions,
                                                 tk_warmup);
+        tk_base.fastForward = args.fastForward;
         applyRunSeed(tk_base, args.seed);
         jobs.push_back({name + "/tk-base", tk_base});
 

@@ -82,6 +82,28 @@ BM_EventQueueScheduleService(benchmark::State &state)
 BENCHMARK(BM_EventQueueScheduleService);
 
 void
+BM_EventPoolBurstChurn(benchmark::State &state)
+{
+    // Slab-pool reuse under bursts that span both wheel levels and
+    // the overflow heap: the steady-state cost of schedule+fire when
+    // every node comes from the free list.
+    EventQueue q;
+    Tick now = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 16; ++i)
+            q.schedule(now + 1 + (i * 37) % 500,
+                       [&sink](Tick) { ++sink; });
+        q.schedule(now + 70000, [&sink](Tick) { ++sink; });
+        now += 100;
+        q.serviceUntil(now);
+    }
+    q.serviceUntil(now + 80000);
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventPoolBurstChurn);
+
+void
 BM_WorkloadGeneration(benchmark::State &state)
 {
     WorkloadGenerator gen(spec2kProfile("mcf"));
@@ -125,6 +147,29 @@ BM_VsvSimulatorThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_VsvSimulatorThroughput)->Arg(20000)->Unit(
     benchmark::kMillisecond);
+
+void
+BM_StalledCoreFastForward(benchmark::State &state)
+{
+    // mcf is miss-dominated, so most ticks are pure stall. range(1)
+    // toggles the idle-tick fast-forward; the two entries report the
+    // kernel's before/after throughput on the same workload.
+    for (auto _ : state) {
+        SimulationOptions options;
+        options.profile = spec2kProfile("mcf");
+        options.warmupInstructions = 5000;
+        options.measureInstructions =
+            static_cast<std::uint64_t>(state.range(0));
+        options.fastForward = state.range(1) != 0;
+        Simulator sim(options);
+        benchmark::DoNotOptimize(sim.run().ticks);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StalledCoreFastForward)
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace vsv

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Simulation-kernel throughput baseline: the fixed mcf/ammp/art
+ * mini-grid, baseline and VSV-FSM configurations, each run with the
+ * idle-tick fast-forward off and then on. Prints a comparison table
+ * and writes BENCH_kernel.json (wall seconds, kinst/s, fast-forward
+ * tick fraction per run, plus per-pair and end-to-end speedups).
+ *
+ * The exit status is nonzero if any off/on pair disagrees on the
+ * simulated statistics - the fast-forward must be invisible in every
+ * number except wall time.
+ *
+ * Flags: --instructions=N --warmup=N --benchmarks=a,b,c --seed=S
+ *        --out=path (default BENCH_kernel.json)
+ */
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+struct PairResult
+{
+    std::string id;
+    SweepOutcome off;
+    SweepOutcome on;
+    bool identical = false;
+    double speedup = 0.0;
+};
+
+void
+writeThroughput(std::ostream &os, const SimulationResult &result)
+{
+    os << "{\"wallSeconds\": " << result.wallSeconds
+       << ", \"kinstPerSec\": " << result.kinstPerSec
+       << ", \"ffTickFraction\": " << result.ffTickFraction
+       << ", \"fastForwardedTicks\": " << result.fastForwardedTicks
+       << "}";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 200000, 20000, {"mcf", "ammp", "art"});
+    const std::string out_path =
+        args.config.getString("out", "BENCH_kernel.json");
+
+    std::vector<PairResult> pairs;
+    double wall_off = 0.0;
+    double wall_on = 0.0;
+    bool all_identical = true;
+
+    for (const auto &bench : args.benchmarks) {
+        for (const bool with_vsv : {false, true}) {
+            SimulationOptions options = makeOptions(args, bench);
+            if (with_vsv)
+                options.vsv = fsmVsvConfig();
+            applyRunSeed(options, args.seed);
+
+            PairResult pair;
+            pair.id = bench + (with_vsv ? "/fsm" : "/base");
+
+            SimulationOptions off_opts = options;
+            off_opts.fastForward = false;
+            pair.off = SweepRunner::runOne({pair.id, off_opts});
+
+            SimulationOptions on_opts = options;
+            on_opts.fastForward = true;
+            pair.on = SweepRunner::runOne({pair.id, on_opts});
+
+            // The optimization contract: same stats, bit for bit.
+            pair.identical =
+                pair.off.scalars == pair.on.scalars &&
+                pair.off.statsJson == pair.on.statsJson &&
+                pair.off.result.ticks == pair.on.result.ticks &&
+                pair.off.result.energyPj == pair.on.result.energyPj;
+            if (!pair.identical) {
+                warn(pair.id +
+                     ": fast-forward changed simulated results");
+                all_identical = false;
+            }
+
+            pair.speedup = pair.off.result.wallSeconds > 0.0
+                               ? pair.on.result.kinstPerSec /
+                                     pair.off.result.kinstPerSec
+                               : 0.0;
+            wall_off += pair.off.result.wallSeconds;
+            wall_on += pair.on.result.wallSeconds;
+            pairs.push_back(std::move(pair));
+        }
+    }
+
+    const double overall =
+        wall_on > 0.0 ? wall_off / wall_on : 0.0;
+
+    TextTable table({"run", "kinst/s off", "kinst/s on", "ff-frac",
+                     "speedup"});
+    for (const auto &pair : pairs) {
+        table.addRow({pair.id,
+                      TextTable::num(pair.off.result.kinstPerSec, 1),
+                      TextTable::num(pair.on.result.kinstPerSec, 1),
+                      TextTable::num(pair.on.result.ffTickFraction, 3),
+                      TextTable::num(pair.speedup, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "end-to-end speedup: " << TextTable::num(overall, 2)
+              << "x (" << TextTable::num(wall_off, 2) << "s -> "
+              << TextTable::num(wall_on, 2) << "s)\n";
+
+    std::ofstream os(out_path);
+    if (!os)
+        fatal("cannot open --out file: " + out_path);
+    os << std::setprecision(6);
+    os << "{\n"
+       << "  \"tool\": \"perf_kernel\",\n"
+       << "  \"instructions\": " << args.instructions << ",\n"
+       << "  \"warmup\": " << args.warmup << ",\n"
+       << "  \"seed\": " << args.seed << ",\n"
+       << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const PairResult &pair = pairs[i];
+        os << "    {\"id\": \"" << pair.id << "\", \"ffOff\": ";
+        writeThroughput(os, pair.off.result);
+        os << ", \"ffOn\": ";
+        writeThroughput(os, pair.on.result);
+        os << ", \"speedup\": " << pair.speedup
+           << ", \"identical\": "
+           << (pair.identical ? "true" : "false") << "}"
+           << (i + 1 < pairs.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"overall\": {\"wallSecondsOff\": " << wall_off
+       << ", \"wallSecondsOn\": " << wall_on
+       << ", \"speedup\": " << overall << ", \"allIdentical\": "
+       << (all_identical ? "true" : "false") << "}\n"
+       << "}\n";
+    inform("wrote " + out_path);
+
+    return all_identical ? 0 : 1;
+}

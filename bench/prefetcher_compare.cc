@@ -30,8 +30,7 @@ main(int argc, char **argv)
     for (const auto &bench : args.benchmarks) {
         for (int engine = 0; engine < 3; ++engine) {
             SimulationOptions base =
-                makeOptions(bench, engine == 2, args.instructions,
-                            args.warmup);
+                makeOptions(args, bench, engine == 2);
             applyRunSeed(base, args.seed);
             base.stridePrefetch = engine == 1;
             if (engine == 1) {

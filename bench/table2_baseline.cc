@@ -28,14 +28,13 @@ main(int argc, char **argv)
     // Two runs per benchmark: plain baseline and TK baseline.
     std::vector<SweepJob> jobs;
     for (const auto &name : args.benchmarks) {
-        SimulationOptions base = makeOptions(name, false,
-                                             args.instructions,
-                                             args.warmup);
+        SimulationOptions base = makeOptions(args, name);
         applyRunSeed(base, args.seed);
         jobs.push_back({name + "/base", base});
 
         SimulationOptions tk = makeOptions(name, true,
                                            args.instructions, tk_warmup);
+        tk.fastForward = args.fastForward;
         applyRunSeed(tk, args.seed);
         jobs.push_back({name + "/tk", tk});
     }

@@ -28,8 +28,7 @@ main(int argc, char **argv)
     const std::uint32_t ups[] = {1, 3, 5};
 
     // The baseline plus the full down x up threshold grid.
-    SimulationOptions base = makeOptions(bench, false,
-                                         args.instructions);
+    SimulationOptions base = makeOptions(args, bench);
     applyRunSeed(base, args.seed);
     std::vector<SweepJob> jobs;
     jobs.push_back({bench + "/base", base});

@@ -79,8 +79,7 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs;
     for (const std::string &bench : args.positional) {
         SimulationOptions options = makeOptions(
-            bench, config.getBool("timekeeping", false),
-            args.instructions, args.warmup);
+            args, bench, config.getBool("timekeeping", false));
         applyRunSeed(options, args.seed);
 
         // VSV policy.

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate BENCH_kernel.json, the checked-in simulation-kernel
+# throughput baseline (fast-forward off vs on over the mcf/ammp/art
+# mini-grid). Extra flags are passed through to bench/perf_kernel,
+# e.g. --instructions=N or --benchmarks=a,b,c.
+set -e
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build="$repo/build"
+
+cmake -S "$repo" -B "$build" >/dev/null
+cmake --build "$build" --target perf_kernel -j >/dev/null
+"$build/bench/perf_kernel" --out="$repo/BENCH_kernel.json" "$@"

@@ -19,20 +19,15 @@ Cache::Cache(const CacheConfig &config)
     VSV_ASSERT(isPowerOf2(numSets_),
                config.name + ": set count must be a power of two");
     blockMask = config.blockBytes - 1;
+    blockShift = floorLog2(config.blockBytes);
+    setMask = numSets_ - 1;
     lines.resize(static_cast<std::size_t>(numSets_) * config.assoc);
-}
-
-std::uint32_t
-Cache::setIndex(Addr addr) const
-{
-    return static_cast<std::uint32_t>(
-        (addr / config_.blockBytes) & (numSets_ - 1));
 }
 
 Cache::Line *
 Cache::findLine(Addr addr)
 {
-    const Addr tag = blockAlign(addr);
+    const Addr tag = addr >> blockShift;
     Line *base = &lines[static_cast<std::size_t>(setIndex(addr)) *
                         config_.assoc];
     for (std::uint32_t way = 0; way < config_.assoc; ++way) {
@@ -54,10 +49,9 @@ Cache::access(Addr addr, bool is_write)
     Line *line = findLine(addr);
     if (line) {
         line->lruStamp = ++stamp;
-        if (is_write && !line->dirty) {
-            line->dirty = true;
-            ++writebackSets;
-        } else if (is_write) {
+        if (is_write) {
+            if (!line->dirty)
+                ++writebackSets;
             line->dirty = true;
         }
         ++hits_;
@@ -76,7 +70,7 @@ Cache::probe(Addr addr) const
 CacheVictim
 Cache::fill(Addr addr, bool dirty)
 {
-    const Addr tag = blockAlign(addr);
+    const Addr tag = addr >> blockShift;
     Line *base = &lines[static_cast<std::size_t>(setIndex(addr)) *
                         config_.assoc];
 
@@ -87,12 +81,11 @@ Cache::fill(Addr addr, bool dirty)
         return {};
     }
 
+    // Branch-free victim scan: invalid lines carry stamp 0, below any
+    // valid line's, so one strict-< min pass selects the first invalid
+    // way when there is one and the true-LRU way otherwise.
     Line *victim = &base[0];
-    for (std::uint32_t way = 0; way < config_.assoc; ++way) {
-        if (!base[way].valid) {
-            victim = &base[way];
-            break;
-        }
+    for (std::uint32_t way = 1; way < config_.assoc; ++way) {
         if (base[way].lruStamp < victim->lruStamp)
             victim = &base[way];
     }
@@ -100,7 +93,7 @@ Cache::fill(Addr addr, bool dirty)
     CacheVictim evicted;
     if (victim->valid) {
         evicted.valid = true;
-        evicted.blockAddr = victim->tag;
+        evicted.blockAddr = victim->tag << blockShift;
         evicted.dirty = victim->dirty;
         ++evictions;
         if (victim->dirty)
@@ -121,6 +114,7 @@ Cache::invalidate(Addr addr)
         line->valid = false;
         line->dirty = false;
         line->tag = invalidAddr;
+        line->lruStamp = 0;  // invalid lines must lose the victim scan
     }
 }
 
@@ -135,6 +129,8 @@ Cache::regStats(StatRegistry &registry, const std::string &prefix) const
                             "blocks evicted by fills");
     registry.registerScalar(prefix + ".dirtyEvictions", &dirtyEvictions,
                             "dirty blocks evicted (writebacks)");
+    registry.registerScalar(prefix + ".writebackSets", &writebackSets,
+                            "write hits that newly dirtied a block");
 }
 
 } // namespace vsv

@@ -71,7 +71,11 @@ class Cache
     Addr blockAlign(Addr addr) const { return addr & ~blockMask; }
 
     /** Set index for an address (exposed for per-set TK history). */
-    std::uint32_t setIndex(Addr addr) const;
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>((addr >> blockShift) & setMask);
+    }
 
     std::uint32_t numSets() const { return numSets_; }
     const CacheConfig &config() const { return config_; }
@@ -90,9 +94,13 @@ class Cache
   private:
     struct Line
     {
+        /** Block address pre-shifted by blockShift (whole upper
+         *  address, so no separate index check is needed). */
         Addr tag = invalidAddr;
         bool valid = false;
         bool dirty = false;
+        /** 0 for invalid lines (valid stamps start at 1), making the
+         *  victim scan a branch-free min over the set. */
         std::uint64_t lruStamp = 0;
     };
 
@@ -102,6 +110,8 @@ class Cache
     CacheConfig config_;
     std::uint32_t numSets_;
     Addr blockMask;
+    std::uint32_t blockShift;  ///< log2(blockBytes)
+    Addr setMask;              ///< numSets - 1
     std::vector<Line> lines;
     std::uint64_t stamp = 0;
 

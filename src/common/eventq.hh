@@ -7,14 +7,43 @@
  * cycle; this queue carries the memory-side events. Events scheduled
  * for the same tick fire in scheduling order (FIFO), which keeps runs
  * deterministic.
+ *
+ * Implementation: a two-level bucketed timing wheel over a slab
+ * allocator, replacing the original std::function + std::priority_queue
+ * pair. Every event lives in an intrusive, pool-recycled node whose
+ * callable is constructed in place (no heap allocation per event), and
+ * insertion/extraction are O(1) for the in-window delays the memory
+ * system produces (L2 hit, retry, bus, DRAM):
+ *
+ *   level 1: 256 one-tick buckets covering the cursor's current
+ *            256-tick epoch; bucket index = tick mod 256
+ *   level 2: 256 epoch buckets covering the following 256 epochs
+ *            (65536 ticks); bucket index = epoch mod 256
+ *   overflow: a (when, seq) min-heap of node pointers for anything
+ *            beyond the level-2 window (bus backlog pathologies)
+ *
+ * Determinism contract: a global sequence number orders same-tick
+ * events. Each bucket is an append-only FIFO list, and every
+ * migration between levels happens exactly when the classification
+ * boundary moves (epoch entry cascades level 2 into level 1 and
+ * drains the newly covered overflow prefix in (when, seq) order)
+ * *before* any insert under the new classification can occur — so
+ * each level-1 bucket is always sequence-sorted and same-tick events
+ * fire strictly in scheduling order, exactly as the heap did.
  */
 
 #ifndef VSV_COMMON_EVENTQ_HH
 #define VSV_COMMON_EVENTQ_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -29,22 +58,82 @@ class EventQueue
   public:
     using Callback = std::function<void(Tick)>;
 
-    /** Schedule cb to run at tick when (>= the last serviced tick). */
-    void
-    schedule(Tick when, Callback cb)
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue()
     {
-        heap.push(Event{when, nextSeq++, std::move(cb)});
+        for (Bucket &b : level1)
+            destroyList(b.head);
+        for (Bucket &b : level2)
+            destroyList(b.head);
+        while (!overflow.empty()) {
+            EventNode *node = overflow.top();
+            overflow.pop();
+            recycle(node);
+        }
+    }
+
+    /**
+     * Schedule a callable `void(Tick)` to run at tick `when`. The
+     * tick must not lie in the past: `when` >= the last serviced
+     * tick (scheduling *at* the tick currently being serviced, e.g.
+     * from within a callback, is allowed and fires this service).
+     */
+    template <typename F>
+    void
+    schedule(Tick when, F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        VSV_ASSERT(when >= lastServiced,
+                   "event scheduled in the past (tick " +
+                       std::to_string(when) + " < serviced " +
+                       std::to_string(lastServiced) + ")");
+        EventNode *node = allocate();
+        node->when = when;
+        node->seq = nextSeq++;
+        node->next = nullptr;
+        if constexpr (sizeof(Fn) <= inlineCallableBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(node->storage))
+                Fn(std::forward<F>(fn));
+            node->invoke = &invokeAs<Fn>;
+            node->destroy = std::is_trivially_destructible_v<Fn>
+                                ? nullptr
+                                : &destroyAs<Fn>;
+        } else {
+            // Oversized callable: box it in a std::function, which
+            // always fits inline. Cold path; nothing in the memory
+            // system takes it.
+            ::new (static_cast<void *>(node->storage))
+                Callback(std::forward<F>(fn));
+            node->invoke = &invokeAs<Callback>;
+            node->destroy = &destroyAs<Callback>;
+        }
+        insert(node);
+        // Keep the next-event cache exact when possible; an unknown
+        // cache (mid-drain) stays unknown until the next rescan.
+        if (size_ == 0)
+            cachedNext = when;
+        else if (cachedNext != unknownNext && when < cachedNext)
+            cachedNext = when;
+        ++size_;
     }
 
     /** Earliest scheduled tick, or maxTick when empty. */
     Tick
     nextEventTick() const
     {
-        return heap.empty() ? maxTick : heap.top().when;
+        if (size_ == 0)
+            return maxTick;
+        if (cachedNext == unknownNext)
+            cachedNext = findNext();
+        return cachedNext;
     }
 
-    bool empty() const { return heap.empty(); }
-    std::size_t size() const { return heap.size(); }
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
 
     /**
      * Run every event scheduled at or before now. Events may schedule
@@ -53,31 +142,224 @@ class EventQueue
     void
     serviceUntil(Tick now)
     {
-        while (!heap.empty() && heap.top().when <= now) {
-            // Copy out before pop so the callback can schedule freely.
-            Event ev = heap.top();
-            heap.pop();
-            ev.cb(ev.when);
+        while (size_ != 0) {
+            const Tick next = nextEventTick();
+            if (next > now)
+                break;
+            advanceTo(next);
+            drainCurrentTick(next);
         }
+        if (now > lastServiced)
+            advanceTo(now);
     }
 
   private:
-    struct Event
+    static constexpr std::size_t inlineCallableBytes = 64;
+    static constexpr std::uint32_t bucketCount = 256;
+    static constexpr std::uint32_t epochShift = 8;  ///< log2(bucketCount)
+    static constexpr Tick unknownNext = maxTick;
+    static constexpr std::size_t slabNodes = 64;
+
+    struct EventNode
     {
+        EventNode *next;
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        /** Run the stored callable (does not destroy it). */
+        void (*invoke)(EventNode *, Tick);
+        /** Destroy the callable; null when trivially destructible. */
+        void (*destroy)(EventNode *);
+        alignas(std::max_align_t) unsigned char
+            storage[inlineCallableBytes];
+    };
 
-        bool
-        operator>(const Event &other) const
+    struct Bucket
+    {
+        EventNode *head = nullptr;
+        EventNode *tail = nullptr;
+        /** Earliest `when` in the bucket (level 2 only); exact while
+         *  buckets are append-only and emptied wholesale on cascade. */
+        Tick minWhen = maxTick;
+
+        void
+        append(EventNode *node)
         {
-            return when != other.when ? when > other.when
-                                      : seq > other.seq;
+            node->next = nullptr;
+            if (tail)
+                tail->next = node;
+            else
+                head = node;
+            tail = node;
+            if (node->when < minWhen)
+                minWhen = node->when;
+        }
+
+        void
+        clear()
+        {
+            head = tail = nullptr;
+            minWhen = maxTick;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+    struct OverflowLater
+    {
+        bool
+        operator()(const EventNode *a, const EventNode *b) const
+        {
+            return a->when != b->when ? a->when > b->when
+                                      : a->seq > b->seq;
+        }
+    };
+
+    template <typename Fn>
+    static void
+    invokeAs(EventNode *node, Tick when)
+    {
+        (*std::launder(reinterpret_cast<Fn *>(node->storage)))(when);
+    }
+
+    template <typename Fn>
+    static void
+    destroyAs(EventNode *node)
+    {
+        std::launder(reinterpret_cast<Fn *>(node->storage))->~Fn();
+    }
+
+    EventNode *
+    allocate()
+    {
+        if (!freeList) {
+            slabs.push_back(std::make_unique<EventNode[]>(slabNodes));
+            EventNode *slab = slabs.back().get();
+            for (std::size_t i = 0; i < slabNodes; ++i) {
+                slab[i].next = freeList;
+                freeList = &slab[i];
+            }
+        }
+        EventNode *node = freeList;
+        freeList = node->next;
+        return node;
+    }
+
+    /** Destroy the callable (if needed) and return the node. */
+    void
+    recycle(EventNode *node)
+    {
+        if (node->destroy)
+            node->destroy(node);
+        node->next = freeList;
+        freeList = node;
+    }
+
+    void
+    destroyList(EventNode *node)
+    {
+        while (node) {
+            EventNode *next = node->next;
+            recycle(node);
+            node = next;
+        }
+    }
+
+    /** File a node into the wheel relative to the current epoch. */
+    void
+    insert(EventNode *node)
+    {
+        const Tick epoch = node->when >> epochShift;
+        if (epoch == currentEpoch) {
+            level1[node->when & (bucketCount - 1)].append(node);
+        } else if (epoch - currentEpoch <= bucketCount) {
+            level2[epoch & (bucketCount - 1)].append(node);
+        } else {
+            overflow.push(node);
+        }
+    }
+
+    /**
+     * Move the cursor to tick `to`, cascading level-2 buckets into
+     * level 1 (and re-filing the newly in-window overflow prefix) at
+     * every epoch boundary crossed. Buckets for skipped ticks are
+     * empty by construction: the cursor only jumps to nextEventTick()
+     * or to a tick at/after every pending event.
+     */
+    void
+    advanceTo(Tick to)
+    {
+        lastServiced = to;
+        const Tick epoch = to >> epochShift;
+        while (currentEpoch < epoch) {
+            ++currentEpoch;
+            Bucket &promote = level2[currentEpoch & (bucketCount - 1)];
+            EventNode *node = promote.head;
+            promote.clear();
+            while (node) {
+                EventNode *next = node->next;
+                level1[node->when & (bucketCount - 1)].append(node);
+                node = next;
+            }
+            while (!overflow.empty() &&
+                   (overflow.top()->when >> epochShift) - currentEpoch <=
+                       bucketCount) {
+                EventNode *later = overflow.top();
+                overflow.pop();
+                insert(later);
+            }
+        }
+    }
+
+    /** Fire every event in tick `now`'s bucket, in sequence order.
+     *  Callbacks may append same-tick events; they fire too. */
+    void
+    drainCurrentTick(Tick now)
+    {
+        Bucket &bucket = level1[now & (bucketCount - 1)];
+        while (EventNode *node = bucket.head) {
+            bucket.head = node->next;
+            if (!bucket.head)
+                bucket.tail = nullptr;
+            --size_;
+            cachedNext = unknownNext;
+            node->invoke(node, now);
+            recycle(node);
+        }
+    }
+
+    /** O(window) rescan for the earliest pending tick (cache miss). */
+    Tick
+    findNext() const
+    {
+        // Level 1: the remaining ticks of the current epoch, in order.
+        for (Tick t = lastServiced; (t >> epochShift) == currentEpoch;
+             ++t) {
+            if (level1[t & (bucketCount - 1)].head)
+                return t;
+        }
+        // Level 2: the next epoch with any content holds the minimum
+        // (epochs are visited in increasing tick order).
+        for (std::uint32_t off = 1; off <= bucketCount; ++off) {
+            const Bucket &b =
+                level2[(currentEpoch + off) & (bucketCount - 1)];
+            if (b.head)
+                return b.minWhen;
+        }
+        return overflow.empty() ? maxTick : overflow.top()->when;
+    }
+
+    std::vector<std::unique_ptr<EventNode[]>> slabs;
+    EventNode *freeList = nullptr;
+
+    std::array<Bucket, bucketCount> level1{};
+    std::array<Bucket, bucketCount> level2{};
+    std::priority_queue<EventNode *, std::vector<EventNode *>,
+                        OverflowLater>
+        overflow;
+
+    Tick lastServiced = 0;     ///< cursor: all earlier ticks fired
+    Tick currentEpoch = 0;     ///< == lastServiced >> epochShift
+    std::size_t size_ = 0;
     std::uint64_t nextSeq = 0;
+    mutable Tick cachedNext = unknownNext;
 };
 
 } // namespace vsv

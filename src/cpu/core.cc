@@ -1,5 +1,7 @@
 #include "core.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace vsv
@@ -392,6 +394,78 @@ Core::fetchStage(Tick now)
         ++fetched;
         if (stop_fetch)
             break;
+    }
+}
+
+Cycle
+Core::cyclesUntilProgress() const
+{
+    // Commit: a Completed head retires (or retries a store write,
+    // touching the write buffer) on the very next cycle.
+    if (headSeq < tailSeq &&
+        ruu[headSeq % config.ruuSize].status == EntryStatus::Completed) {
+        return 0;
+    }
+
+    Cycle limit = maxTick;
+
+    // Fetch: an unblocked fetch draws from the trace next cycle. The
+    // icache stall clears only via a memory event (caller's bound);
+    // a blocking branch resolves only via completion (bounded below);
+    // a full fetch queue drains only via dispatch (checked below).
+    const bool fetch_blocked_indefinitely =
+        icacheStall || blockingBranch != invalidSeqNum ||
+        fetchQueue.size() >= config.fetchQueueSize;
+    if (!fetch_blocked_indefinitely) {
+        if (fetchResumeCycle <= cycleNum + 1)
+            return 0;
+        limit = std::min(limit, fetchResumeCycle - 1 - cycleNum);
+    }
+
+    // Dispatch: only a full RUU (or a full LSQ for a memory op at the
+    // queue head) stalls it; either stall bumps a per-cycle counter
+    // that skipIdleCycles() replays.
+    if (!fetchQueue.empty()) {
+        const bool ruu_full = ruuOccupancy >= config.ruuSize;
+        const bool lsq_full = isMemOp(fetchQueue.front().op.cls) &&
+                              lsqOccupancy >= config.lsqSize;
+        if (!ruu_full && !lsq_full)
+            return 0;
+    }
+
+    // Window: a Dispatched entry with ready operands would issue (or
+    // charge the LSQ CAM / consume a unit while failing to); an
+    // Issued non-memory entry completes on a known cycle. Entries
+    // waiting on in-flight producers stay blocked until one of those
+    // completions (or a memory event) lands.
+    for (InstSeqNum seq = headSeq; seq < tailSeq; ++seq) {
+        const RuuEntry &entry = ruu[seq % config.ruuSize];
+        if (entry.status == EntryStatus::Dispatched) {
+            if (operandsReady(entry))
+                return 0;
+        } else if (entry.status == EntryStatus::Issued &&
+                   !entry.memPending) {
+            if (entry.completeCycle <= cycleNum + 1)
+                return 0;
+            limit = std::min(limit, entry.completeCycle - 1 - cycleNum);
+        }
+    }
+    return limit;
+}
+
+void
+Core::skipIdleCycles(Cycle edges)
+{
+    cycleNum += edges;
+    issueRateDist.sample(0, edges);
+    zeroIssueCycles += static_cast<double>(edges);
+    // issuedTotal += 0 per cycle is a bit-exact no-op.
+    if (!fetchQueue.empty()) {
+        if (ruuOccupancy >= config.ruuSize)
+            ruuFullStalls += static_cast<double>(edges);
+        else if (isMemOp(fetchQueue.front().op.cls) &&
+                 lsqOccupancy >= config.lsqSize)
+            lsqFullStalls += static_cast<double>(edges);
     }
 }
 

@@ -89,6 +89,30 @@ class Core
     }
     Cycle pipelineCycles() const { return cycleNum; }
 
+    /**
+     * How many upcoming pipeline cycles are provably pure stall
+     * cycles, assuming no memory-system event fires in between (the
+     * caller bounds the answer by `hierarchy->nextEventTick()`).
+     *
+     * A pure stall cycle performs no stage work and records no power
+     * accesses; its only effects are the cycle counter, the zero-issue
+     * statistics, and at most one dispatch-stall counter - exactly
+     * what skipIdleCycles() replays in bulk. Returns 0 when the next
+     * cycle may make progress (or burn power trying: a ready entry
+     * blocked on a unit/port still charges the LSQ CAM or consumes a
+     * functional unit, so it disqualifies the fast path). Returns
+     * maxTick when only a memory event can wake the core.
+     */
+    Cycle cyclesUntilProgress() const;
+
+    /**
+     * Apply the bookkeeping of `edges` consecutive pure stall cycles
+     * (pipeline-edge ticks only; edgeless ticks never reach the core).
+     * Bit-identical to running cycle() that many times under the
+     * cyclesUntilProgress() preconditions.
+     */
+    void skipIdleCycles(Cycle edges);
+
     void regStats(StatRegistry &registry, const std::string &prefix) const;
 
   private:

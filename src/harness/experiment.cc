@@ -26,6 +26,8 @@ parseExperimentArgs(int argc, char **argv,
         static_cast<unsigned>(args.config.getUInt("jobs", 1));
     args.jsonPath = args.config.getString("json", "");
     args.seed = args.config.getUInt("seed", 0);
+    // Valueless "--no-fast-forward" parses as no-fast-forward=true.
+    args.fastForward = !args.config.getBool("no-fast-forward", false);
 
     const std::string raw = args.config.getString("benchmarks", "");
     if (raw.empty()) {
@@ -88,6 +90,17 @@ makeOptions(const std::string &benchmark, bool timekeeping,
             options.profile.tkWarmupInstructions;
     }
     options.vsv.enabled = false;
+    return options;
+}
+
+SimulationOptions
+makeOptions(const ExperimentArgs &args, const std::string &benchmark,
+            bool timekeeping)
+{
+    SimulationOptions options =
+        makeOptions(benchmark, timekeeping, args.instructions,
+                    args.warmup);
+    options.fastForward = args.fastForward;
     return options;
 }
 

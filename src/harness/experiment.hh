@@ -39,6 +39,9 @@ struct ExperimentArgs
     std::uint64_t seed = 0;
     /** --benchmarks=a,b,c, or the binary's default set. */
     std::vector<std::string> benchmarks;
+    /** Idle-tick fast-forward; --no-fast-forward forces the paranoid
+     *  per-tick loop (results are bit-identical either way). */
+    bool fastForward = true;
 };
 
 /** Parse the shared flags; unknown keys stay pending in `config`. */
@@ -76,6 +79,14 @@ SimulationOptions makeOptions(const std::string &benchmark,
                               bool timekeeping,
                               std::uint64_t instructions = 0,
                               std::uint64_t warmup = 0);
+
+/**
+ * Same, driven by parsed experiment arguments: applies
+ * --instructions/--warmup and the --no-fast-forward switch.
+ */
+SimulationOptions makeOptions(const ExperimentArgs &args,
+                              const std::string &benchmark,
+                              bool timekeeping = false);
 
 /** Run the baseline and the given VSV configuration; compute deltas. */
 VsvComparison compareVsv(const SimulationOptions &base_options,

@@ -1,5 +1,8 @@
 #include "simulator.hh"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/logging.hh"
 
 namespace vsv
@@ -114,12 +117,56 @@ Simulator::run()
     // instruction at half clock; 1000x is unambiguous breakage.
     const Tick limit = start + 64 + 1000 * options.measureInstructions;
 
+    // Fast-forward state. lastIssued starts nonzero so the first
+    // measured tick always takes the per-tick path (closing any
+    // power accesses left open by warmup); afterwards a fast-forward
+    // is attempted only while the last pipeline cycle issued nothing.
+    std::uint32_t lastIssued = 1;
+    Tick ffTicks = 0;
+
+    const auto wallStart = std::chrono::steady_clock::now();
+
     while (cpu->committedInstructions() < target) {
+        // Idle-tick fast-forward: with the controller in a steady
+        // state, no memory event due, and the core provably unable to
+        // make progress, the upcoming ticks are pure bookkeeping -
+        // apply it in bulk and jump. Exact by construction (DESIGN.md
+        // §5d); `--no-fast-forward` runs the loop below for every
+        // tick instead.
+        if (options.fastForward && lastIssued == 0 &&
+            vsvCtrl->inSteadyState()) {
+            const Tick nextEv = hierarchy->nextEventTick();
+            if (nextEv > now) {
+                const Cycle skippable = cpu->cyclesUntilProgress();
+                if (skippable > 0) {
+                    Tick horizon = std::min(nextEv - now, limit - now);
+                    if (tk) {
+                        // tk->tick() is a strict no-op before its next
+                        // decay sweep; never skip across one.
+                        const Tick sweep = tk->nextSweepAt();
+                        horizon = std::min(
+                            horizon, sweep > now ? sweep - now : Tick{0});
+                    }
+                    const VsvController::IdleAdvance adv =
+                        vsvCtrl->advanceIdle(now, horizon, skippable);
+                    if (adv.ticks > 0) {
+                        cpu->skipIdleCycles(adv.edges);
+                        power->accrueIdleTicks(adv.edges,
+                                               adv.ticks - adv.edges);
+                        ffTicks += adv.ticks;
+                        now += adv.ticks;
+                        continue;
+                    }
+                }
+            }
+        }
+
         hierarchy->service(now);
         const bool edge = vsvCtrl->beginTick(now);
         if (edge) {
             const std::uint32_t issued = cpu->cycle(now);
             vsvCtrl->observeIssueRate(issued);
+            lastIssued = issued;
         }
         if (tk)
             tk->tick(now);
@@ -133,6 +180,12 @@ Simulator::run()
                   options.profile.name + ")");
         }
     }
+
+    const auto wallEnd = std::chrono::steady_clock::now();
+
+    // Convert any idle ticks still banked in the power model so the
+    // registered Scalars (read directly by stats dumps) are final.
+    power->flushIdle();
 
     SimulationResult result;
     result.benchmark = options.profile.name;
@@ -158,6 +211,17 @@ Simulator::run()
         vsvCtrl->ticksInState(VsvState::RampUp));
     result.lowModeFraction =
         low_ticks / static_cast<double>(result.ticks);
+
+    result.wallSeconds =
+        std::chrono::duration<double>(wallEnd - wallStart).count();
+    result.kinstPerSec =
+        result.wallSeconds > 0.0
+            ? static_cast<double>(result.instructions) /
+                  result.wallSeconds / 1e3
+            : 0.0;
+    result.fastForwardedTicks = ffTicks;
+    result.ffTickFraction = static_cast<double>(ffTicks) /
+                            static_cast<double>(result.ticks);
     return result;
 }
 

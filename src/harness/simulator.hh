@@ -66,6 +66,15 @@ struct SimulationOptions
      *  exclusive with timekeeping). */
     bool stridePrefetch = false;
     VsvConfig vsv{};           ///< vsv.enabled=false => baseline run
+    /**
+     * Idle-tick fast-forward: when the core is provably stalled and
+     * no memory event is due, jump time forward and apply the skipped
+     * ticks' bookkeeping in bulk. Statistically invisible (results
+     * and stats are bit-identical either way; see DESIGN.md §5d);
+     * disable (--no-fast-forward) to force the paranoid per-tick
+     * loop.
+     */
+    bool fastForward = true;
     PowerModelConfig power{};
     HierarchyConfig hierarchy{};
     CoreConfig core{};
@@ -88,6 +97,13 @@ struct SimulationResult
     std::uint64_t downTransitions = 0;
     std::uint64_t upTransitions = 0;
     double lowModeFraction = 0.0;  ///< fraction of ticks at VDDL-ish
+
+    // Throughput observability (host-dependent; excluded from the
+    // determinism contract - see DESIGN.md §5d).
+    double wallSeconds = 0.0;      ///< host time in the measured loop
+    double kinstPerSec = 0.0;      ///< simulated kilo-instructions/s
+    Tick fastForwardedTicks = 0;   ///< ticks skipped by fast-forward
+    double ffTickFraction = 0.0;   ///< fastForwardedTicks / ticks
 };
 
 /** One wired-up simulation instance. */

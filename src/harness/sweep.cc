@@ -126,7 +126,15 @@ writeResultJson(std::ostream &os, const SimulationResult &r)
        << ",\"downTransitions\":" << r.downTransitions
        << ",\"upTransitions\":" << r.upTransitions
        << ",\"lowModeFraction\":" << jsonNumber(r.lowModeFraction)
-       << '}';
+       // Host-dependent observability; excluded from the determinism
+       // contract (fastForwardedTicks/ffTickFraction are reproducible
+       // for a fixed fastForward setting, wall time never is).
+       << ",\"throughput\":{"
+       << "\"wallSeconds\":" << jsonNumber(r.wallSeconds)
+       << ",\"kinstPerSec\":" << jsonNumber(r.kinstPerSec)
+       << ",\"fastForwardedTicks\":" << r.fastForwardedTicks
+       << ",\"ffTickFraction\":" << jsonNumber(r.ffTickFraction)
+       << "}}";
 }
 
 } // namespace

@@ -27,6 +27,31 @@ PowerModel::PowerModel(const PowerModelConfig &config)
             scaledLeakPerTick += leak;
         else
             fixedLeakPerTick += leak;
+
+        // Gating-adjusted idle energy per clocked-but-unaccessed tick
+        // at VDDH (the clock tree's entry is its per-edge energy).
+        if (static_cast<PowerStructure>(i) == PowerStructure::ClockTree) {
+            idleBasePj[i] = params.maxCyclePj;
+            continue;
+        }
+        double idle = 0.0;
+        switch (config.gating) {
+          case GatingStyle::None:
+            idle = params.maxCyclePj;
+            break;
+          case GatingStyle::Simple:
+            idle = params.maxCyclePj * config.idleFraction;
+            break;
+          case GatingStyle::Dcg:
+            idle = params.maxCyclePj * config.idleFraction;
+            if (params.dcgGateable)
+                idle *= 1.0 - config.gatingEfficiency;
+            break;
+          case GatingStyle::Ideal:
+            idle = 0.0;
+            break;
+        }
+        idleBasePj[i] = idle;
     }
 }
 
@@ -36,7 +61,11 @@ PowerModel::setPipelineVdd(double vdd)
     VSV_ASSERT(vdd >= config_.vddLow - 1e-9 &&
                vdd <= config_.vddHigh + 1e-9,
                "pipeline VDD outside [VDDL, VDDH]");
-    pipelineVdd_ = vdd;
+    if (vdd != pipelineVdd_) {
+        // Banked idle ticks were accumulated at the old voltage.
+        flushIdle();
+        pipelineVdd_ = vdd;
+    }
 }
 
 void
@@ -60,6 +89,7 @@ PowerModel::recordAccess(PowerStructure s, double count)
     const StructureParams &params = structureParams(s);
 
     accessesThisTick[idx] += count;
+    anyAccessThisTick = true;
 
     double per_access = params.accessPj;
     // The VDDL->VDDH path latches: in the high-power mode the regular
@@ -78,6 +108,72 @@ PowerModel::tick(bool pipeline_edge)
     if (pipeline_edge)
         ++pipelineEdges;
 
+    if (!anyAccessThisTick) {
+        // Pure idle tick: just bank it. The voltage cannot change
+        // without a flush (setPipelineVdd flushes on a value change),
+        // so the conversion to energy can happen later, in bulk.
+        if (pipeline_edge)
+            ++pendingIdleEdges;
+        else
+            ++pendingIdleNoEdges;
+        return;
+    }
+
+    flushIdle();
+    chargeActiveTick(pipeline_edge);
+    accessesThisTick.fill(0.0);
+    anyAccessThisTick = false;
+}
+
+void
+PowerModel::accrueIdleTicks(std::uint64_t edges, std::uint64_t no_edges)
+{
+    VSV_ASSERT(!anyAccessThisTick,
+               "accrueIdleTicks with accesses not yet closed by tick()");
+    ticks += static_cast<double>(edges + no_edges);
+    pipelineEdges += static_cast<double>(edges);
+    pendingIdleEdges += edges;
+    pendingIdleNoEdges += no_edges;
+}
+
+void
+PowerModel::flushIdle() const
+{
+    if (pendingIdleEdges == 0 && pendingIdleNoEdges == 0)
+        return;
+    auto *self = const_cast<PowerModel *>(this);
+    const std::uint64_t edges = pendingIdleEdges;
+    const std::uint64_t all = pendingIdleEdges + pendingIdleNoEdges;
+    self->pendingIdleEdges = 0;
+    self->pendingIdleNoEdges = 0;
+
+    if (scaledLeakPerTick > 0.0 || fixedLeakPerTick > 0.0) {
+        const double vratio = pipelineVdd_ / config_.vddHigh;
+        self->leakageEnergy +=
+            static_cast<double>(all) *
+            (fixedLeakPerTick +
+             scaledLeakPerTick * vratio * vratio * vratio);
+    }
+
+    for (std::size_t i = 0; i < numPowerStructures; ++i) {
+        const auto s = static_cast<PowerStructure>(i);
+        const StructureParams &params = structureParams(s);
+        // The clock tree charges per pipeline edge; the L2 runs on the
+        // full-speed clock every tick; everything else - including the
+        // VDDH L1s and the register file - is clocked with the
+        // pipeline and idles only on edges.
+        const std::uint64_t n =
+            s == PowerStructure::L2Cache ? all : edges;
+        if (n == 0 || idleBasePj[i] == 0.0)
+            continue;
+        self->energyPj[i] += static_cast<double>(n) * idleBasePj[i] *
+                             domainVoltageSq(params.domain);
+    }
+}
+
+void
+PowerModel::chargeActiveTick(bool pipeline_edge)
+{
     // Leakage accrues every tick, ungateable; the scaled domain's
     // share falls with roughly VDD^3 (subthreshold DIBL), the paper's
     // cited leakage benefit of supply scaling.
@@ -96,7 +192,7 @@ PowerModel::tick(bool pipeline_edge)
         // at half rate, so clock power halves on top of the V^2 drop.
         if (s == PowerStructure::ClockTree) {
             if (pipeline_edge) {
-                energyPj[i] += params.maxCyclePj *
+                energyPj[i] += idleBasePj[i] *
                                domainVoltageSq(params.domain);
             }
             continue;
@@ -113,32 +209,14 @@ PowerModel::tick(bool pipeline_edge)
         if (!clocked)
             continue;
 
-        double idle = 0.0;
-        switch (config_.gating) {
-          case GatingStyle::None:
-            idle = params.maxCyclePj;
-            break;
-          case GatingStyle::Simple:
-            idle = params.maxCyclePj * config_.idleFraction;
-            break;
-          case GatingStyle::Dcg:
-            idle = params.maxCyclePj * config_.idleFraction;
-            if (params.dcgGateable)
-                idle *= 1.0 - config_.gatingEfficiency;
-            break;
-          case GatingStyle::Ideal:
-            idle = 0.0;
-            break;
-        }
-        energyPj[i] += idle * domainVoltageSq(params.domain);
+        energyPj[i] += idleBasePj[i] * domainVoltageSq(params.domain);
     }
-
-    accessesThisTick.fill(0.0);
 }
 
 double
 PowerModel::totalEnergyPj() const
 {
+    flushIdle();
     double total = rampEnergy.value() + leakageEnergy.value();
     for (const auto &e : energyPj)
         total += e.value();
@@ -148,12 +226,14 @@ PowerModel::totalEnergyPj() const
 double
 PowerModel::structureEnergyPj(PowerStructure s) const
 {
+    flushIdle();
     return energyPj[static_cast<std::size_t>(s)].value();
 }
 
 double
 PowerModel::domainEnergyPj(VoltageDomain domain) const
 {
+    flushIdle();
     double total = 0.0;
     for (std::size_t i = 0; i < numPowerStructures; ++i) {
         if (structureParams(static_cast<PowerStructure>(i)).domain ==

@@ -113,10 +113,34 @@ class PowerModel
      */
     void tick(bool pipeline_edge);
 
+    /**
+     * Account `edges + no_edges` consecutive *idle* global ticks in
+     * one call: ticks on which no structure recorded an access, split
+     * by whether the pipeline clock had an edge. Exactly equivalent to
+     * the same sequence of tick() calls - idle ticks are banked in
+     * pending counters either way and converted to energy at the same
+     * flush boundaries (a voltage change, an access-carrying tick, or
+     * an energy read), so fast-forwarded and per-tick runs produce
+     * bit-identical totals. Must not be called with accesses recorded
+     * and not yet closed by tick().
+     */
+    void accrueIdleTicks(std::uint64_t edges, std::uint64_t no_edges);
+
+    /**
+     * Convert any banked idle ticks to energy now. Called implicitly
+     * by every energy getter; call explicitly before reading the
+     * registered Scalars directly (e.g. a registry dump).
+     */
+    void flushIdle() const;
+
     /** Cumulative energy in picojoules (dynamic + ramp + leakage). */
     double totalEnergyPj() const;
     double structureEnergyPj(PowerStructure s) const;
-    double leakageEnergyPj() const { return leakageEnergy.value(); }
+    double leakageEnergyPj() const
+    {
+        flushIdle();
+        return leakageEnergy.value();
+    }
     double rampEnergyPj() const
     {
         return rampEnergy.value();
@@ -133,12 +157,18 @@ class PowerModel
   private:
     double domainVoltageSq(VoltageDomain domain) const;
 
+    /** Charge idle/clock/leakage energy for one access-carrying tick
+     *  (the original per-tick loop). */
+    void chargeActiveTick(bool pipeline_edge);
+
     PowerModelConfig config_;
     double pipelineVdd_;
     double vddHighSq;
     bool lowPowerPath = false;
 
     std::array<double, numPowerStructures> accessesThisTick{};
+    /** O(1) test for "no structure accessed this tick". */
+    bool anyAccessThisTick = false;
     std::array<Scalar, numPowerStructures> energyPj;
     Scalar rampEnergy;
     Scalar leakageEnergy;
@@ -147,6 +177,21 @@ class PowerModel
     double fixedLeakPerTick = 0.0;
     Scalar ticks;
     Scalar pipelineEdges;
+
+    /**
+     * Idle ticks banked since the last flush, all at the current
+     * pipeline VDD (setPipelineVdd flushes on a change of value).
+     * Split by pipeline-clock edge: the two tick kinds charge
+     * different structure sets.
+     */
+    mutable std::uint64_t pendingIdleEdges = 0;
+    mutable std::uint64_t pendingIdleNoEdges = 0;
+    /**
+     * Per-structure idle energy at VDDH for one idle tick, with the
+     * gating style already applied (ClockTree's entry is its per-edge
+     * cycle energy). Computed once in the constructor.
+     */
+    std::array<double, numPowerStructures> idleBasePj{};
 };
 
 } // namespace vsv

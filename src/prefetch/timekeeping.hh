@@ -95,6 +95,10 @@ class TimekeepingPrefetcher : public Prefetcher
      */
     void tick(Tick now);
 
+    /** First tick at which tick() will do any work (decay sweeps are
+     *  a strict no-op before this, which bounds idle fast-forwards). */
+    Tick nextSweepAt() const { return nextSweepTick; }
+
     void regStats(StatRegistry &registry, const std::string &prefix) const;
 
     std::uint64_t prefetchesIssued() const

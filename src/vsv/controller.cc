@@ -1,5 +1,7 @@
 #include "controller.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace vsv
@@ -186,6 +188,63 @@ VsvController::beginTick(Tick now)
         return true;
     }
     return false;
+}
+
+VsvController::IdleAdvance
+VsvController::advanceIdle(Tick now, Tick max_ticks, Tick max_edges)
+{
+    if (!inSteadyState() || max_ticks == 0)
+        return {};
+    VSV_ASSERT(state_ == VsvState::High || state_ == VsvState::Low,
+               "steady state must be High or Low");
+
+    // Edge budget: an armed FSM absorbs zero-issue observations until
+    // it settles; leave the settling observation to the per-tick path
+    // (it starts a transition or disarms - neither is replayable in
+    // bulk).
+    Tick edge_budget = max_edges;
+    if (config.enabled) {
+        const IssueMonitorFsm &fsm =
+            state_ == VsvState::High ? downFsm : upFsm;
+        if (fsm.armed()) {
+            edge_budget = std::min<Tick>(edge_budget,
+                                         fsm.observationsUntilSettled() - 1);
+        }
+    }
+
+    Tick ticks = 0;
+    std::uint64_t edges = 0;
+    if (state_ == VsvState::High) {
+        // Full-speed clock: every tick is an edge.
+        ticks = std::min(max_ticks, edge_budget);
+        edges = ticks;
+    } else {
+        // Half clock: edges at max(now, nextEdge) + k*divider. Cap
+        // the advance so at most edge_budget edges fall inside it.
+        const Tick d = config.clockDivider;
+        const Tick to_first = nextEdge > now ? nextEdge - now : 0;
+        Tick span = maxTick;
+        if (edge_budget < (maxTick - to_first) / d)
+            span = to_first + edge_budget * d;
+        ticks = std::min(max_ticks, span);
+        if (ticks > to_first) {
+            edges = 1 + (ticks - to_first - 1) / d;
+            nextEdge = now + to_first + edges * d;
+        }
+    }
+    if (ticks == 0)
+        return {};
+
+    stateTicks[static_cast<std::size_t>(state_)] +=
+        static_cast<double>(ticks);
+    if (config.enabled && edges > 0) {
+        if (state_ == VsvState::High)
+            downFsm.observeIdleRun(edges);
+        else
+            upFsm.observeIdleRun(edges);
+    }
+    lastTick = now + ticks - 1;
+    return {ticks, edges};
 }
 
 void

@@ -124,6 +124,36 @@ class VsvController : public MissListener
      */
     void observeIssueRate(std::uint32_t issued);
 
+    /** Outcome of an idle fast-forward attempt. */
+    struct IdleAdvance
+    {
+        Tick ticks = 0;          ///< global ticks skipped
+        std::uint64_t edges = 0; ///< pipeline edges among them
+    };
+
+    /**
+     * Fast-forward through up to `max_ticks` fully idle ticks
+     * starting at `now`, during which the core issues nothing and no
+     * memory event fires (the caller guarantees both). Replays
+     * exactly what per-tick beginTick()/observeIssueRate(0) calls
+     * would have done: state-residency ticks, the half-clock edge
+     * schedule, and bulk zero-issue observations into whichever FSM
+     * is armed - stopping one observation short of a fire/expire so
+     * the settling cycle runs through the normal path. Pipeline
+     * edges are additionally capped at `max_edges` (the core's own
+     * stall bound). Returns {0,0} mid-transition or whenever nothing
+     * can be skipped.
+     */
+    IdleAdvance advanceIdle(Tick now, Tick max_ticks, Tick max_edges);
+
+    /** True in a steady state (High or Low, rail settled): the only
+     *  states advanceIdle() can fast-forward through. */
+    bool
+    inSteadyState() const
+    {
+        return stateEnd == maxTick && rail.settled();
+    }
+
     // MissListener interface (wired to the memory hierarchy).
     void demandL2MissDetected(Tick when,
                               std::uint32_t outstanding) override;

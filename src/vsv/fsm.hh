@@ -21,8 +21,11 @@
 #ifndef VSV_VSV_FSM_HH
 #define VSV_VSV_FSM_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
 
@@ -114,6 +117,45 @@ class IssueMonitorFsm
     }
 
     bool armed() const { return armed_; }
+
+    /**
+     * How many more *zero-issue* observations this machine can absorb
+     * before it settles (fires or expires). Unarmed machines absorb
+     * any number. Used by the idle fast-forward to stop one
+     * observation short of the settling cycle, which then runs
+     * through the normal per-cycle path.
+     */
+    std::uint64_t
+    observationsUntilSettled() const
+    {
+        if (!armed_)
+            return std::numeric_limits<std::uint64_t>::max();
+        const std::uint64_t to_expiry = config.period - cyclesWatched;
+        if (!countZeroIssue)
+            return to_expiry;  // zero-issue cycles never fire the up-FSM
+        return std::min<std::uint64_t>(config.threshold - consecutive,
+                                       to_expiry);
+    }
+
+    /**
+     * Feed `n` consecutive zero-issue cycles at once. Exactly
+     * equivalent to n observe(0) calls, and therefore only legal for
+     * n < observationsUntilSettled() (none of them may settle the
+     * machine). No-op when unarmed, as observe() is.
+     */
+    void
+    observeIdleRun(std::uint64_t n)
+    {
+        if (!armed_ || n == 0)
+            return;
+        VSV_ASSERT(n < observationsUntilSettled(),
+                   "bulk idle observation may not settle the FSM");
+        cyclesWatched += static_cast<std::uint32_t>(n);
+        if (countZeroIssue)
+            consecutive += static_cast<std::uint32_t>(n);
+        else
+            consecutive = 0;
+    }
 
     void
     regStats(StatRegistry &registry, const std::string &prefix) const

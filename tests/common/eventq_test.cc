@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "common/eventq.hh"
@@ -80,6 +83,115 @@ TEST(EventQueueTest, NextEventTickOnEmptyIsMax)
     EXPECT_EQ(q.nextEventTick(), maxTick);
     EXPECT_TRUE(q.empty());
     EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, SameTickFifoUnderRescheduleFromCallback)
+{
+    // Callbacks appending same-tick events must see them fire after
+    // everything already queued for that tick, in scheduling order -
+    // the memory system relies on this for retry determinism.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(9, [&](Tick when) {
+        order.push_back(0);
+        q.schedule(when, [&](Tick inner) {
+            order.push_back(2);
+            q.schedule(inner, [&](Tick) { order.push_back(4); });
+        });
+        q.schedule(when, [&](Tick) { order.push_back(3); });
+    });
+    q.schedule(9, [&](Tick) { order.push_back(1); });
+
+    q.serviceUntil(9);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastAsserts)
+{
+    EventQueue q;
+    q.schedule(10, [](Tick) {});
+    q.serviceUntil(20);
+    // At the serviced tick is allowed; strictly before it is not.
+    q.schedule(20, [](Tick) {});
+    EXPECT_DEATH(q.schedule(19, [](Tick) {}),
+                 "event scheduled in the past");
+}
+
+TEST(EventQueueTest, RandomizedScheduleMatchesReferenceOrder)
+{
+    // Exercise every wheel tier (level 1, level 2, overflow beyond
+    // 65536 ticks) with a randomized schedule serviced at randomized
+    // boundaries, and check the global firing order against the
+    // (when, scheduling order) sort a binary heap would produce.
+    std::mt19937_64 rng(12345);
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> fired;
+    std::vector<std::pair<Tick, int>> expected;
+
+    Tick now = 0;
+    int id = 0;
+    for (int round = 0; round < 200; ++round) {
+        const int inserts = static_cast<int>(rng() % 8);
+        for (int i = 0; i < inserts; ++i) {
+            Tick delta = 0;
+            switch (rng() % 4) {
+              case 0: delta = rng() % 4; break;          // same epoch
+              case 1: delta = rng() % 256; break;        // level 1/2
+              case 2: delta = rng() % 65536; break;      // level 2
+              default: delta = 60000 + rng() % 200000;   // overflow
+            }
+            const Tick when = now + delta;
+            const int tag = id++;
+            expected.emplace_back(when, tag);
+            q.schedule(when,
+                       [&fired, when, tag](Tick) {
+                           fired.emplace_back(when, tag);
+                       });
+        }
+        now += rng() % 3000;
+        q.serviceUntil(now);
+    }
+    q.serviceUntil(now + 300000);
+    EXPECT_TRUE(q.empty());
+
+    // Same-tick ties keep scheduling order: a stable sort by tick.
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    ASSERT_EQ(fired.size(), expected.size());
+    EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueueTest, OversizedCallablesAreBoxed)
+{
+    // Callables above the inline-storage budget must still work (they
+    // are boxed into a std::function on a cold path).
+    EventQueue q;
+    std::array<std::uint64_t, 16> payload{};
+    payload.fill(7);
+    std::uint64_t sum = 0;
+    q.schedule(3, [payload, &sum](Tick) {
+        for (const auto v : payload)
+            sum += v;
+    });
+    q.serviceUntil(3);
+    EXPECT_EQ(sum, 7u * 16u);
+}
+
+TEST(EventQueueTest, PendingCallablesAreDestroyedWithTheQueue)
+{
+    // A shared_ptr captured by a never-fired event must be released
+    // when the queue dies (the slab pool owns the storage).
+    auto token = std::make_shared<int>(42);
+    {
+        EventQueue q;
+        q.schedule(1000, [token](Tick) {});
+        q.schedule(100000000, [token](Tick) {});  // parked in overflow
+        EXPECT_EQ(token.use_count(), 3);
+    }
+    EXPECT_EQ(token.use_count(), 1);
 }
 
 } // namespace

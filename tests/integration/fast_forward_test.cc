@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Proof that the idle-tick fast-forward is an optimization, not a
+ * model change: every statistic the simulator exports must be
+ * bit-identical with fast-forward on and off, across the full
+ * Figure 4 grid (all SPEC2K benchmarks x {baseline, VSV without
+ * FSMs, VSV with FSMs}), including under a multi-threaded sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "workload/workload.hh"
+
+namespace vsv
+{
+namespace
+{
+
+/** The Figure 4 job list (3 configs per benchmark) at test scale. */
+std::vector<SweepJob>
+figure4Grid(bool fast_forward)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &name : spec2kBenchmarks()) {
+        SimulationOptions base = makeOptions(name, false, 20000, 5000);
+        base.fastForward = fast_forward;
+        jobs.push_back({name + "/base", base});
+
+        SimulationOptions no_fsm = base;
+        no_fsm.vsv = noFsmVsvConfig();
+        jobs.push_back({name + "/no-fsm", no_fsm});
+
+        SimulationOptions with_fsm = base;
+        with_fsm.vsv = fsmVsvConfig();
+        jobs.push_back({name + "/fsm", with_fsm});
+    }
+    return jobs;
+}
+
+TEST(FastForwardTest, Figure4GridIsBitIdentical)
+{
+    // --jobs 8 on both sides: the comparison also re-checks that the
+    // threaded sweep returns outcomes in submission order.
+    SweepRunner runner(8);
+    const std::vector<SweepOutcome> on = runner.run(figure4Grid(true));
+    const std::vector<SweepOutcome> off = runner.run(figure4Grid(false));
+    ASSERT_EQ(on.size(), off.size());
+
+    for (std::size_t i = 0; i < on.size(); ++i) {
+        const SweepOutcome &a = on[i];
+        const SweepOutcome &b = off[i];
+        ASSERT_EQ(a.id, b.id);
+
+        // Every registered scalar, bit for bit.
+        EXPECT_EQ(a.scalars, b.scalars) << a.id;
+        // The full stats dump, distributions included.
+        EXPECT_EQ(a.statsJson, b.statsJson) << a.id;
+
+        // Result fields, minus the host-dependent throughput block.
+        EXPECT_EQ(a.result.instructions, b.result.instructions) << a.id;
+        EXPECT_EQ(a.result.ticks, b.result.ticks) << a.id;
+        EXPECT_EQ(a.result.pipelineCycles, b.result.pipelineCycles)
+            << a.id;
+        EXPECT_EQ(a.result.downTransitions, b.result.downTransitions)
+            << a.id;
+        EXPECT_EQ(a.result.upTransitions, b.result.upTransitions)
+            << a.id;
+        EXPECT_DOUBLE_EQ(a.result.ipc, b.result.ipc) << a.id;
+        EXPECT_DOUBLE_EQ(a.result.mr, b.result.mr) << a.id;
+        EXPECT_DOUBLE_EQ(a.result.energyPj, b.result.energyPj) << a.id;
+        EXPECT_DOUBLE_EQ(a.result.avgPowerW, b.result.avgPowerW)
+            << a.id;
+        EXPECT_DOUBLE_EQ(a.result.lowModeFraction,
+                         b.result.lowModeFraction)
+            << a.id;
+
+        EXPECT_EQ(b.result.fastForwardedTicks, 0u) << a.id;
+    }
+}
+
+TEST(FastForwardTest, EngagesOnStallHeavyWorkload)
+{
+    // mcf spends most of its time waiting on L2 misses; the
+    // fast-forward must actually skip ticks there or the optimization
+    // is dead code.
+    SimulationOptions options = makeOptions("mcf", false, 30000, 5000);
+    options.fastForward = true;
+    const SweepOutcome out = SweepRunner::runOne({"mcf", options});
+    EXPECT_GT(out.result.fastForwardedTicks, 0u);
+    EXPECT_GT(out.result.ffTickFraction, 0.0);
+    EXPECT_LE(out.result.ffTickFraction, 1.0);
+}
+
+TEST(FastForwardTest, EngagesInLowPowerSteadyState)
+{
+    // With VSV enabled, steady Low mode (half-speed clock) is where
+    // stall time concentrates; the skipper must handle the divided
+    // pipeline-edge pattern there.
+    SimulationOptions options = makeOptions("mcf", false, 30000, 5000);
+    options.vsv = fsmVsvConfig();
+    options.fastForward = true;
+    const SweepOutcome out = SweepRunner::runOne({"mcf-fsm", options});
+    EXPECT_GT(out.result.downTransitions, 0u);
+    EXPECT_GT(out.result.fastForwardedTicks, 0u);
+}
+
+TEST(FastForwardTest, DisabledModeReportsNoSkippedTicks)
+{
+    SimulationOptions options = makeOptions("mcf", false, 20000, 5000);
+    options.fastForward = false;
+    const SweepOutcome out = SweepRunner::runOne({"mcf-off", options});
+    EXPECT_EQ(out.result.fastForwardedTicks, 0u);
+    EXPECT_DOUBLE_EQ(out.result.ffTickFraction, 0.0);
+}
+
+TEST(FastForwardTest, TimekeepingRunsAreBitIdentical)
+{
+    // The TK prefetcher's periodic history sweep bounds the skip
+    // horizon; make sure that interaction is exact too.
+    SimulationOptions on = makeOptions("art", true, 20000, 0);
+    on.fastForward = true;
+    SimulationOptions off = on;
+    off.fastForward = false;
+    const SweepOutcome a = SweepRunner::runOne({"art-tk", on});
+    const SweepOutcome b = SweepRunner::runOne({"art-tk", off});
+    EXPECT_EQ(a.scalars, b.scalars);
+    EXPECT_EQ(a.statsJson, b.statsJson);
+    EXPECT_EQ(a.result.ticks, b.result.ticks);
+    EXPECT_DOUBLE_EQ(a.result.energyPj, b.result.energyPj);
+}
+
+} // namespace
+} // namespace vsv

@@ -199,5 +199,81 @@ TEST(PowerModelTest, OutOfRangeVddDies)
     EXPECT_DEATH(pm.setPipelineVdd(2.5), "VDD");
 }
 
+TEST(PowerModelTest, AccrueIdleTicksMatchesPerTickIdleLoop)
+{
+    // One batched call must land on the exact same doubles as the
+    // equivalent per-tick loop - the fast-forward's correctness
+    // argument depends on it. Leakage enabled to cover that term too.
+    PowerModelConfig config;
+    config.leakageFraction = 0.05;
+    PowerModel batched(config);
+    PowerModel stepped(config);
+    batched.setPipelineVdd(1.2);
+    stepped.setPipelineVdd(1.2);
+
+    batched.accrueIdleTicks(/*edges=*/37, /*no_edges=*/63);
+    for (int i = 0; i < 100; ++i)
+        stepped.tick(/*pipeline_edge=*/i % 2 == 0 && i < 74);
+    // 37 edges + 63 no-edge ticks; order is irrelevant for idle ticks.
+
+    EXPECT_DOUBLE_EQ(batched.totalEnergyPj(), stepped.totalEnergyPj());
+    EXPECT_DOUBLE_EQ(batched.leakageEnergyPj(),
+                     stepped.leakageEnergyPj());
+    for (std::size_t i = 0; i < numPowerStructures; ++i) {
+        const auto s = static_cast<PowerStructure>(i);
+        EXPECT_DOUBLE_EQ(batched.structureEnergyPj(s),
+                         stepped.structureEnergyPj(s))
+            << structureParams(s).name;
+    }
+}
+
+TEST(PowerModelTest, IdleBankFlushesAtVoltageBoundary)
+{
+    // Idle ticks banked before a VDD change must be charged at the
+    // old voltage, matching the per-tick sequence around a ramp.
+    PowerModel batched;
+    PowerModel stepped;
+    batched.setPipelineVdd(1.8);
+    stepped.setPipelineVdd(1.8);
+
+    batched.accrueIdleTicks(10, 0);
+    for (int i = 0; i < 10; ++i)
+        stepped.tick(true);
+
+    batched.setPipelineVdd(1.2);
+    stepped.setPipelineVdd(1.2);
+
+    batched.accrueIdleTicks(4, 4);
+    for (int i = 0; i < 8; ++i)
+        stepped.tick(i % 2 == 0);
+
+    EXPECT_DOUBLE_EQ(batched.totalEnergyPj(), stepped.totalEnergyPj());
+    EXPECT_DOUBLE_EQ(batched.domainEnergyPj(VoltageDomain::Scaled),
+                     stepped.domainEnergyPj(VoltageDomain::Scaled));
+    EXPECT_DOUBLE_EQ(batched.domainEnergyPj(VoltageDomain::Fixed),
+                     stepped.domainEnergyPj(VoltageDomain::Fixed));
+}
+
+TEST(PowerModelTest, IdleBankFlushesBeforeActiveTick)
+{
+    // An access-carrying tick after banked idle ticks: both orders of
+    // bookkeeping (bank-then-flush vs plain per-tick) must agree.
+    PowerModel batched;
+    PowerModel stepped;
+
+    batched.accrueIdleTicks(5, 0);
+    batched.recordAccess(PowerStructure::IntAlu);
+    batched.tick(true);
+
+    for (int i = 0; i < 5; ++i)
+        stepped.tick(true);
+    stepped.recordAccess(PowerStructure::IntAlu);
+    stepped.tick(true);
+
+    EXPECT_DOUBLE_EQ(batched.totalEnergyPj(), stepped.totalEnergyPj());
+    EXPECT_DOUBLE_EQ(batched.structureEnergyPj(PowerStructure::IntAlu),
+                     stepped.structureEnergyPj(PowerStructure::IntAlu));
+}
+
 } // namespace
 } // namespace vsv

@@ -137,5 +137,62 @@ TEST(FsmTest, RearmAfterExpiryWorks)
     EXPECT_EQ(fsm.fires(), 1u);
 }
 
+TEST(FsmBulkTest, ObserveIdleRunMatchesRepeatedZeroObserve)
+{
+    IssueMonitorFsm bulk({5, 20}, /*count_zero_issue=*/true);
+    IssueMonitorFsm stepped({5, 20}, true);
+    bulk.arm();
+    stepped.arm();
+
+    bulk.observeIdleRun(3);
+    for (int i = 0; i < 3; ++i)
+        stepped.observe(0);
+
+    EXPECT_EQ(bulk.observationsUntilSettled(), 2u);
+    EXPECT_EQ(stepped.observationsUntilSettled(), 2u);
+    EXPECT_EQ(bulk.observe(0), MonitorOutcome::Watching);
+    EXPECT_EQ(stepped.observe(0), MonitorOutcome::Watching);
+    EXPECT_EQ(bulk.observe(0), MonitorOutcome::Fired);
+    EXPECT_EQ(stepped.observe(0), MonitorOutcome::Fired);
+}
+
+TEST(FsmBulkTest, ObserveIdleRunResetsUpFsmStreak)
+{
+    // Zero-issue cycles cannot fire the up-FSM; a bulk run only burns
+    // monitoring period and resets the issuing streak.
+    IssueMonitorFsm fsm({3, 10}, /*count_zero_issue=*/false);
+    fsm.arm();
+    fsm.observe(1);
+    fsm.observe(1);
+    fsm.observeIdleRun(5);  // cyclesWatched 7, streak back to 0
+    EXPECT_EQ(fsm.observationsUntilSettled(), 3u);
+    fsm.observe(1);
+    fsm.observe(1);
+    // Third issuing cycle both completes the streak and lands on the
+    // last cycle of the period: fire wins, as in the per-cycle path.
+    EXPECT_EQ(fsm.observe(1), MonitorOutcome::Fired);
+}
+
+TEST(FsmBulkTest, UnarmedMachineAbsorbsAnyRun)
+{
+    IssueMonitorFsm fsm({3, 10}, true);
+    EXPECT_EQ(fsm.observationsUntilSettled(),
+              std::numeric_limits<std::uint64_t>::max());
+    fsm.observeIdleRun(1000000);  // no-op, like observe() when idle
+    EXPECT_EQ(fsm.fires(), 0u);
+    fsm.arm();
+    EXPECT_EQ(fsm.observationsUntilSettled(), 3u);
+}
+
+TEST(FsmBulkDeathTest, SettlingBulkRunAsserts)
+{
+    // The settling observation must go through the per-cycle path;
+    // a bulk run that would fire or expire the machine is a bug.
+    IssueMonitorFsm fsm({3, 10}, true);
+    fsm.arm();
+    EXPECT_DEATH(fsm.observeIdleRun(3),
+                 "bulk idle observation may not settle");
+}
+
 } // namespace
 } // namespace vsv
