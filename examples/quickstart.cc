@@ -3,9 +3,11 @@
  * Quickstart: run one benchmark on the baseline processor and on the
  * VSV processor, and print what VSV did.
  *
- *   ./quickstart [benchmark] [--instructions=N]
+ *   ./quickstart [benchmark] [--instructions=N] [--trace-out=FILE]
  *
  * Benchmarks are SPEC2K names (mcf, ammp, swim, ...); default: ammp.
+ * With --trace-out the two runs write Chrome trace-event JSON to
+ * FILE.base.json / FILE.vsv.json (see OBSERVABILITY.md).
  */
 
 #include <iostream>
@@ -22,12 +24,21 @@ main(int argc, char **argv)
     const auto positional = config.parseArgs(argc, argv);
     const std::string bench = positional.empty() ? "ammp" : positional[0];
     const std::uint64_t insts = config.getUInt("instructions", 300000);
+    const std::string trace_out = config.getString("trace-out", "");
+    const std::uint32_t trace_cats = TraceSink::parseCategories(
+        config.getString("trace-categories", ""));
+    const std::uint64_t interval = config.getUInt("interval-stats", 0);
 
     std::cout << "VSV quickstart: benchmark '" << bench << "', "
               << insts << " instructions\n\n";
 
     // 1. Baseline: VSV disabled, everything at VDDH / full clock.
     SimulationOptions options = makeOptions(bench, false, insts);
+    if (!trace_out.empty()) {
+        options.trace.path = traceOutPathForRun(trace_out, "base");
+        options.trace.categories = trace_cats;
+        options.trace.intervalTicks = interval;
+    }
     Simulator baseline(options);
     const SimulationResult base = baseline.run();
 
@@ -38,6 +49,8 @@ main(int argc, char **argv)
 
     // 2. VSV with the paper's FSM configuration (down 3/10, up 3/10).
     options.vsv = fsmVsvConfig();
+    if (!trace_out.empty())
+        options.trace.path = traceOutPathForRun(trace_out, "vsv");
     Simulator vsv_sim(options);
     const SimulationResult vsv = vsv_sim.run();
 

@@ -8,6 +8,8 @@
  *   trace_tool record <benchmark> <file> [--ops=N]
  *   trace_tool info <file>
  *   trace_tool run <file> [--instructions=N] [--vsv] [--warmup=N]
+ *                  [--trace-out=FILE] [--trace-categories=...]
+ *                  [--interval-stats=N]
  */
 
 #include <iostream>
@@ -80,6 +82,10 @@ run(const std::string &path, const Config &config)
     options.warmupInstructions = config.getUInt("warmup", 100000);
     options.vsv = fsmVsvConfig();
     options.vsv.enabled = config.getBool("vsv", false);
+    options.trace.path = config.getString("trace-out", "");
+    options.trace.categories = TraceSink::parseCategories(
+        config.getString("trace-categories", ""));
+    options.trace.intervalTicks = config.getUInt("interval-stats", 0);
 
     Simulator sim(options);
     const SimulationResult r = sim.run();

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Check that the markdown docs only reference flags, binaries and
+# repo paths that actually exist, so documentation rot fails ctest
+# instead of a reader. Run from anywhere; ctest runs it as the
+# `check_docs` test.
+set -u
+cd "$(dirname "$0")/.."
+
+docs="README.md EXPERIMENTS.md OBSERVABILITY.md DESIGN.md"
+fail=0
+
+err() {
+    echo "check_docs: $1" >&2
+    fail=1
+}
+
+# 1. Every documented --flag must be parsed somewhere: its key string
+#    appears quoted in src/ bench/ examples/ (the Config::get* sites).
+#    Allowlisted: meta placeholders and flags belonging to other tools
+#    (cmake --build, ctest --test-dir).
+allow_flags=" options build test-dir output-on-failure "
+for flag in $(grep -ohE -- '--[a-z][a-z0-9-]*' $docs | sed 's/^--//' |
+              sort -u); do
+    case "$allow_flags" in *" $flag "*) continue ;; esac
+    if ! grep -rq -- "\"$flag\"" src bench examples; then
+        err "flag --$flag is documented but parsed nowhere in src/ bench/ examples/"
+    fi
+done
+
+# 2. Every bench/NAME or examples/NAME token must have a source file.
+for bin in $(grep -ohE '(bench|examples)/[a-z0-9_]+' $docs | sort -u); do
+    if [ ! -f "$bin.cc" ]; then
+        err "binary $bin is documented but $bin.cc does not exist"
+    fi
+done
+
+# 3. Repo paths under src/ tests/ scripts/ must exist. Tokens cut off
+#    at a glob (src/workload/trace.*) are accepted when the prefix
+#    matches something.
+for p in $(grep -ohE '(src|tests|scripts)/[A-Za-z0-9_./-]+' $docs |
+           sed 's/[.,;:]*$//' | sort -u); do
+    if [ ! -e "$p" ] && ! ls "$p"* >/dev/null 2>&1; then
+        err "path $p is documented but does not exist"
+    fi
+done
+
+# 4. Relative markdown link targets must exist.
+for l in $(grep -ohE '\]\([^)]+\)' $docs | sed 's/^](//; s/)$//' |
+           sort -u); do
+    case "$l" in http://*|https://*|'#'*) continue ;; esac
+    l=${l%%#*}
+    if [ ! -e "$l" ]; then
+        err "markdown link target $l does not exist"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_docs: OK"

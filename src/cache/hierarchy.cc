@@ -202,6 +202,10 @@ MemoryHierarchy::requestFromL2(Addr l2_block, bool demand, bool is_write,
     entry->isWrite = is_write;
     if (on_filled)
         entry->targets.push_back(std::move(on_filled));
+    if (trace) {
+        trace->record(TraceCategory::Mshr, TraceEventKind::MshrLevel,
+                      now, l2Mshrs.inUse());
+    }
 
     if (demand)
         ++demandL2Misses;
@@ -217,14 +221,23 @@ MemoryHierarchy::requestFromL2(Addr l2_block, bool demand, bool is_write,
                    ? std::min(config_.l2MissDetectTicks,
                               config_.l2.hitLatency)
                    : config_.l2.hitLatency);
-    if (demand && missListener) {
+    if (demand &&
+        (missListener ||
+         (trace && trace->wants(TraceCategory::L2Miss)))) {
         events.schedule(detect_tick, [this](Tick when) {
             // Report the authoritative in-flight count at detection
             // time, not allocation time: by the time the hit latency
             // has elapsed, further misses may have been allocated or
             // returned.
-            missListener->demandL2MissDetected(
-                when, l2Mshrs.demandOutstanding());
+            const std::uint32_t outstanding =
+                l2Mshrs.demandOutstanding();
+            if (trace) {
+                trace->record(TraceCategory::L2Miss,
+                              TraceEventKind::MissDetect, when,
+                              outstanding);
+            }
+            if (missListener)
+                missListener->demandL2MissDetected(when, outstanding);
         });
     }
     events.schedule(tags_done, [this, l2_block](Tick when) {
@@ -244,6 +257,11 @@ MemoryHierarchy::startMemoryTrip(Addr l2_block, Tick when)
                 bus.reserve(ready, config_.l2.blockBytes);
             events.schedule(resp_done, [this, l2_block](Tick done) {
                 MshrEntry entry = l2Mshrs.release(l2_block);
+                if (trace) {
+                    trace->record(TraceCategory::Mshr,
+                                  TraceEventKind::MshrLevel, done,
+                                  l2Mshrs.inUse());
+                }
 
                 power.recordAccess(PowerStructure::L2Cache);
                 const CacheVictim victim = l2.fill(l2_block, false);
@@ -255,9 +273,18 @@ MemoryHierarchy::startMemoryTrip(Addr l2_block, Tick when)
                 for (auto &target : entry.targets)
                     target(done);
 
-                if (entry.demand && missListener) {
-                    missListener->demandL2MissReturned(
-                        done, l2Mshrs.demandOutstanding());
+                if (entry.demand) {
+                    const std::uint32_t outstanding =
+                        l2Mshrs.demandOutstanding();
+                    if (trace) {
+                        trace->record(TraceCategory::L2Miss,
+                                      TraceEventKind::MissReturn, done,
+                                      outstanding);
+                    }
+                    if (missListener) {
+                        missListener->demandL2MissReturned(done,
+                                                           outstanding);
+                    }
                 }
             });
         });

@@ -39,6 +39,7 @@
 #include "common/types.hh"
 #include "power/model.hh"
 #include "stats/stats.hh"
+#include "trace/sink.hh"
 
 namespace vsv
 {
@@ -158,6 +159,8 @@ class MemoryHierarchy : public PrefetchIssuer
     /** Optional wiring. */
     void setMissListener(MissListener *listener) { missListener = listener; }
     void setPrefetcher(Prefetcher *engine);
+    /** Attach an event sink (nullptr = tracing off, the default). */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
 
     /**
      * Data-side access from the LSQ (or a software prefetch).
@@ -248,6 +251,7 @@ class MemoryHierarchy : public PrefetchIssuer
 
     MissListener *missListener = nullptr;
     Prefetcher *prefetcher = nullptr;
+    TraceSink *trace = nullptr;
     bool warmupMode_ = false;
 
     Scalar demandL2Misses;

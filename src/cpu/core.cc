@@ -158,6 +158,10 @@ Core::startMemoryAccess(RuuEntry &entry, Tick now)
 
     if (!outcome.accepted) {
         ++memRetries;
+        if (trace) {
+            trace->record(TraceCategory::Core, TraceEventKind::MemRetry,
+                          now, seq);
+        }
         return false;
     }
     ++loadsExecuted;
@@ -189,6 +193,11 @@ Core::commitStage(Tick now)
                 entry.op.addr, true, false, now, {});
             if (!outcome.accepted) {
                 ++memRetries;
+                if (trace) {
+                    trace->record(TraceCategory::Core,
+                                  TraceEventKind::MemRetry, now,
+                                  entry.seq);
+                }
                 return;  // write buffer full; retry next cycle
             }
             ++dcachePortsUsed;
@@ -215,7 +224,6 @@ Core::commitStage(Tick now)
 void
 Core::completeStage(Tick now)
 {
-    (void)now;
     for (InstSeqNum seq = headSeq; seq < tailSeq; ++seq) {
         RuuEntry &entry = slot(seq);
         if (entry.status != EntryStatus::Issued || entry.memPending ||
@@ -239,6 +247,11 @@ Core::completeStage(Tick now)
                 fetchResumeCycle = cycleNum + config.mispredictPenalty;
                 blockingBranch = invalidSeqNum;
                 ++mispredictRecoveries;
+                if (trace) {
+                    trace->record(TraceCategory::Core,
+                                  TraceEventKind::Mispredict, now,
+                                  entry.seq);
+                }
             }
         }
     }

@@ -115,6 +115,9 @@ class Core
 
     void regStats(StatRegistry &registry, const std::string &prefix) const;
 
+    /** Attach an event sink (nullptr = tracing off, the default). */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
+
   private:
     enum class EntryStatus : std::uint8_t
     {
@@ -211,6 +214,8 @@ class Core
     /** Per-pool unit free times (pipeline cycles). */
     std::vector<std::vector<Cycle>> unitFreeAt;
     std::uint32_t dcachePortsUsed = 0;
+
+    TraceSink *trace = nullptr;
 
     // Statistics.
     Scalar committed;

@@ -28,6 +28,12 @@ parseExperimentArgs(int argc, char **argv,
     args.seed = args.config.getUInt("seed", 0);
     // Valueless "--no-fast-forward" parses as no-fast-forward=true.
     args.fastForward = !args.config.getBool("no-fast-forward", false);
+    args.traceOut = args.config.getString("trace-out", "");
+    args.traceCategories = args.config.getString("trace-categories", "");
+    args.intervalStats = args.config.getUInt("interval-stats", 0);
+    // Validate the category spell even when --trace-out is absent so
+    // a typo fails fast instead of silently tracing nothing.
+    TraceSink::parseCategories(args.traceCategories);
 
     const std::string raw = args.config.getString("benchmarks", "");
     if (raw.empty()) {
@@ -46,8 +52,22 @@ runSweep(const ExperimentArgs &args, const std::string &tool,
          const std::vector<SweepJob> &jobs)
 {
     SweepRunner runner(args.jobs);
+
+    // A shared --trace-out base would make concurrent runs clobber
+    // one file; give each run its own path, derived from its id.
+    std::vector<SweepJob> uniquified;
+    const std::vector<SweepJob> *to_run = &jobs;
+    if (!args.traceOut.empty() && jobs.size() > 1) {
+        uniquified = jobs;
+        for (SweepJob &job : uniquified) {
+            job.options.trace.path =
+                traceOutPathForRun(args.traceOut, job.id);
+        }
+        to_run = &uniquified;
+    }
+
     const auto start = std::chrono::steady_clock::now();
-    std::vector<SweepOutcome> outcomes = runner.run(jobs);
+    std::vector<SweepOutcome> outcomes = runner.run(*to_run);
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -101,7 +121,29 @@ makeOptions(const ExperimentArgs &args, const std::string &benchmark,
         makeOptions(benchmark, timekeeping, args.instructions,
                     args.warmup);
     options.fastForward = args.fastForward;
+    options.trace.path = args.traceOut;
+    options.trace.categories =
+        TraceSink::parseCategories(args.traceCategories);
+    options.trace.intervalTicks = args.intervalStats;
     return options;
+}
+
+std::string
+traceOutPathForRun(const std::string &base, const std::string &run_id)
+{
+    std::string id = run_id;
+    for (char &c : id) {
+        if (c == '/')
+            c = '-';
+    }
+    const std::size_t dot = base.rfind('.');
+    const std::size_t slash = base.rfind('/');
+    // A dot inside a directory component is not an extension.
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return base + "." + id;
+    }
+    return base.substr(0, dot) + "." + id + base.substr(dot);
 }
 
 VsvConfig

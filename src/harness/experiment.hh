@@ -42,6 +42,13 @@ struct ExperimentArgs
     /** Idle-tick fast-forward; --no-fast-forward forces the paranoid
      *  per-tick loop (results are bit-identical either way). */
     bool fastForward = true;
+    /** When nonempty, write a Chrome trace-event JSON per run
+     *  (--trace-out; see OBSERVABILITY.md). */
+    std::string traceOut;
+    /** --trace-categories=mode,fsm,... ("" or "all" = everything). */
+    std::string traceCategories;
+    /** --interval-stats=N: interval-stats epoch length in ticks. */
+    std::uint64_t intervalStats = 0;
 };
 
 /** Parse the shared flags; unknown keys stay pending in `config`. */
@@ -87,6 +94,15 @@ SimulationOptions makeOptions(const std::string &benchmark,
 SimulationOptions makeOptions(const ExperimentArgs &args,
                               const std::string &benchmark,
                               bool timekeeping = false);
+
+/**
+ * Derive a per-run trace path from a shared --trace-out base: run-id
+ * slashes become dashes and the id is inserted before the extension
+ * ("out.json" + "mcf/vsv-fsm" -> "out.mcf-vsv-fsm.json"), so parallel
+ * sweep runs never clobber each other's trace files.
+ */
+std::string traceOutPathForRun(const std::string &base,
+                               const std::string &run_id);
 
 /** Run the baseline and the given VSV configuration; compute deltas. */
 VsvComparison compareVsv(const SimulationOptions &base_options,

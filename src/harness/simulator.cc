@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 
 #include "common/logging.hh"
 
@@ -38,6 +39,14 @@ Simulator::Simulator(const SimulationOptions &options)
     hierarchy->setMissListener(vsvCtrl.get());
     cpu = std::make_unique<Core>(options.core, *source, *hierarchy,
                                  *predictor, *power);
+
+    if (!options.trace.path.empty()) {
+        traceSink = std::make_unique<TraceSink>(options.trace.categories);
+        power->setTraceSink(traceSink.get());
+        hierarchy->setTraceSink(traceSink.get());
+        vsvCtrl->setTraceSink(traceSink.get());
+        cpu->setTraceSink(traceSink.get());
+    }
 
     power->regStats(registry, "power");
     hierarchy->regStats(registry, "mem");
@@ -124,9 +133,28 @@ Simulator::run()
     std::uint32_t lastIssued = 1;
     Tick ffTicks = 0;
 
+    // Interval-stats sampler: constructed here (not in the ctor) so
+    // the baselines exclude warmup, like every other result delta.
+    if (traceSink && options.trace.intervalTicks > 0 &&
+        traceSink->wants(TraceCategory::Interval)) {
+        std::vector<std::string> scalars{"cpu.committed", "cpu.issued",
+                                         "mem.demandL2Misses"};
+        scalars.insert(scalars.end(),
+                       options.trace.intervalScalars.begin(),
+                       options.trace.intervalScalars.end());
+        sampler = std::make_unique<IntervalStatsSampler>(
+            *traceSink, registry, options.trace.intervalTicks, scalars,
+            start);
+        sampler->setEnergyProbe(
+            [this] { return power->peekTotalEnergyPj(); });
+    }
+
     const auto wallStart = std::chrono::steady_clock::now();
 
     while (cpu->committedInstructions() < target) {
+        if (sampler && now >= sampler->nextSampleAt())
+            sampler->sample(now);
+
         // Idle-tick fast-forward: with the controller in a steady
         // state, no memory event due, and the core provably unable to
         // make progress, the upcoming ticks are pure bookkeeping -
@@ -147,9 +175,20 @@ Simulator::run()
                         horizon = std::min(
                             horizon, sweep > now ? sweep - now : Tick{0});
                     }
+                    if (sampler) {
+                        // Epoch boundaries land on exact ticks whether
+                        // or not fast-forward is on (DESIGN.md §5e).
+                        horizon = std::min(horizon,
+                                           sampler->nextSampleAt() - now);
+                    }
                     const VsvController::IdleAdvance adv =
                         vsvCtrl->advanceIdle(now, horizon, skippable);
                     if (adv.ticks > 0) {
+                        if (traceSink) {
+                            traceSink->record(TraceCategory::FastForward,
+                                              TraceEventKind::IdleSpan,
+                                              now, adv.ticks, adv.edges);
+                        }
                         cpu->skipIdleCycles(adv.edges);
                         power->accrueIdleTicks(adv.edges,
                                                adv.ticks - adv.edges);
@@ -182,6 +221,9 @@ Simulator::run()
     }
 
     const auto wallEnd = std::chrono::steady_clock::now();
+
+    if (sampler)
+        sampler->finish(now);
 
     // Convert any idle ticks still banked in the power model so the
     // registered Scalars (read directly by stats dumps) are final.
@@ -222,6 +264,21 @@ Simulator::run()
     result.fastForwardedTicks = ffTicks;
     result.ffTickFraction = static_cast<double>(ffTicks) /
                             static_cast<double>(result.ticks);
+
+    if (traceSink) {
+        std::ofstream os(options.trace.path,
+                         std::ios::out | std::ios::trunc);
+        if (!os) {
+            panic("cannot open trace output file: " +
+                  options.trace.path);
+        }
+        traceSink->writeChromeJson(os, start, now);
+        os.flush();
+        if (!os) {
+            panic("error writing trace output file: " +
+                  options.trace.path);
+        }
+    }
     return result;
 }
 

@@ -36,6 +36,8 @@
 #include "prefetch/stride.hh"
 #include "prefetch/timekeeping.hh"
 #include "stats/stats.hh"
+#include "trace/interval.hh"
+#include "trace/sink.hh"
 #include "vsv/controller.hh"
 #include "workload/workload.hh"
 
@@ -75,6 +77,15 @@ struct SimulationOptions
      * loop.
      */
     bool fastForward = true;
+    /**
+     * Event tracing (trace.path empty = off). The measured window is
+     * recorded into a TraceSink and written as Chrome trace-event
+     * JSON at the end of run(); see OBSERVABILITY.md. Tracing never
+     * perturbs results: stats are bit-identical with tracing on or
+     * off, and fast-forwarded runs produce equivalent event streams
+     * (DESIGN.md §5e).
+     */
+    TraceConfig trace{};
     PowerModelConfig power{};
     HierarchyConfig hierarchy{};
     CoreConfig core{};
@@ -125,6 +136,9 @@ class Simulator
     const PowerModel &powerModel() const { return *power; }
     const Core &core() const { return *cpu; }
 
+    /** The event sink, or nullptr when tracing is off. */
+    const TraceSink *trace() const { return traceSink.get(); }
+
   private:
     void functionalWarmup();
 
@@ -141,6 +155,8 @@ class Simulator
     TraceSource *source = nullptr;
     std::unique_ptr<VsvController> vsvCtrl;
     std::unique_ptr<Core> cpu;
+    std::unique_ptr<TraceSink> traceSink;
+    std::unique_ptr<IntervalStatsSampler> sampler;
 
     Tick warmupTicks = 0;
     bool ran = false;

@@ -1,5 +1,7 @@
 #include "model.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace vsv
@@ -69,9 +71,14 @@ PowerModel::setPipelineVdd(double vdd)
 }
 
 void
-PowerModel::addRampEnergy()
+PowerModel::addRampEnergy(Tick when)
 {
     rampEnergy += config_.rampEnergyPj;
+    if (trace) {
+        trace->record(TraceCategory::Power, TraceEventKind::RampEnergy,
+                      when,
+                      std::bit_cast<std::uint64_t>(rampEnergy.value()));
+    }
 }
 
 double
@@ -220,6 +227,38 @@ PowerModel::totalEnergyPj() const
     double total = rampEnergy.value() + leakageEnergy.value();
     for (const auto &e : energyPj)
         total += e.value();
+    return total;
+}
+
+double
+PowerModel::peekTotalEnergyPj() const
+{
+    double total = rampEnergy.value() + leakageEnergy.value();
+    for (const auto &e : energyPj)
+        total += e.value();
+
+    // Add what flushIdle() *would* contribute, without flushing.
+    const std::uint64_t edges = pendingIdleEdges;
+    const std::uint64_t all = pendingIdleEdges + pendingIdleNoEdges;
+    if (all == 0)
+        return total;
+
+    if (scaledLeakPerTick > 0.0 || fixedLeakPerTick > 0.0) {
+        const double vratio = pipelineVdd_ / config_.vddHigh;
+        total += static_cast<double>(all) *
+                 (fixedLeakPerTick +
+                  scaledLeakPerTick * vratio * vratio * vratio);
+    }
+    for (std::size_t i = 0; i < numPowerStructures; ++i) {
+        const auto s = static_cast<PowerStructure>(i);
+        const StructureParams &params = structureParams(s);
+        const std::uint64_t n =
+            s == PowerStructure::L2Cache ? all : edges;
+        if (n == 0 || idleBasePj[i] == 0.0)
+            continue;
+        total += static_cast<double>(n) * idleBasePj[i] *
+                 domainVoltageSq(params.domain);
+    }
     return total;
 }
 

@@ -38,6 +38,7 @@
 #include "common/types.hh"
 #include "power/structures.hh"
 #include "stats/stats.hh"
+#include "trace/sink.hh"
 
 namespace vsv
 {
@@ -100,8 +101,14 @@ class PowerModel
      */
     void setLowPowerPath(bool low) { lowPowerPath = low; }
 
-    /** Charge one ramp's dual-rail network energy (66 nJ). */
-    void addRampEnergy();
+    /**
+     * Charge one ramp's dual-rail network energy (66 nJ). `when` is
+     * only used to timestamp the trace event (if tracing is on).
+     */
+    void addRampEnergy(Tick when = 0);
+
+    /** Attach an event sink (nullptr = tracing off, the default). */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
 
     /** Record `count` accesses to structure s during this tick. */
     void recordAccess(PowerStructure s, double count = 1.0);
@@ -135,6 +142,15 @@ class PowerModel
 
     /** Cumulative energy in picojoules (dynamic + ramp + leakage). */
     double totalEnergyPj() const;
+    /**
+     * totalEnergyPj() without the implicit flush: banked idle ticks
+     * are *computed into* the returned total but stay banked, so the
+     * flush-boundary schedule - and therefore the floating-point
+     * operation order behind every energy scalar - is unchanged.
+     * Used by the interval-stats sampler, which must not perturb the
+     * bit-identical-stats contract (DESIGN.md 5d).
+     */
+    double peekTotalEnergyPj() const;
     double structureEnergyPj(PowerStructure s) const;
     double leakageEnergyPj() const
     {
@@ -165,6 +181,7 @@ class PowerModel
     double pipelineVdd_;
     double vddHighSq;
     bool lowPowerPath = false;
+    TraceSink *trace = nullptr;
 
     std::array<double, numPowerStructures> accessesThisTick{};
     /** O(1) test for "no structure accessed this tick". */

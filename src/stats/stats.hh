@@ -4,9 +4,11 @@
  *
  * Components own Scalar / Formula / Distribution objects and register
  * them (by hierarchical dotted name) with a StatRegistry. The harness
- * dumps the registry after a run. Stats are plain accumulators - no
- * binning epochs - because every experiment in the paper reports
- * whole-run aggregates.
+ * dumps the registry after a run. Stats are plain accumulators
+ * because every experiment in the paper reports whole-run aggregates;
+ * time-resolved views are layered on top by src/trace's
+ * IntervalStatsSampler, which reads registered scalars periodically
+ * and bins the deltas into epochs without touching this package.
  */
 
 #ifndef VSV_STATS_STATS_HH

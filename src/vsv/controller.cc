@@ -1,11 +1,31 @@
 #include "controller.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
 namespace vsv
 {
+
+// The trace layer names FsmObserve outcomes by their numeric value
+// without including VSV headers; keep the protocol in sync.
+static_assert(static_cast<std::uint8_t>(MonitorOutcome::Idle) == 0 &&
+              static_cast<std::uint8_t>(MonitorOutcome::Watching) == 1 &&
+              static_cast<std::uint8_t>(MonitorOutcome::Fired) == 2 &&
+              static_cast<std::uint8_t>(MonitorOutcome::Expired) == 3,
+              "MonitorOutcome values are part of the trace protocol");
+
+namespace
+{
+
+constexpr std::uint64_t
+observePayload(std::uint32_t issued, MonitorOutcome outcome)
+{
+    return packFsmObserve(issued, static_cast<std::uint8_t>(outcome));
+}
+
+} // namespace
 
 std::string_view
 vsvStateName(VsvState state)
@@ -46,6 +66,10 @@ VsvController::startDownTransition(Tick now)
 {
     VSV_ASSERT(state_ == VsvState::High,
                "down transition outside the high-power mode");
+    if (trace && downFsm.armed()) {
+        trace->record(TraceCategory::Fsm, TraceEventKind::FsmDisarm,
+                      now, traceFsmDown);
+    }
     downFsm.disarm();
     ++downCount;
     enterState(VsvState::DownClockDist, now);
@@ -56,6 +80,10 @@ VsvController::startUpTransition(Tick now)
 {
     VSV_ASSERT(state_ == VsvState::Low,
                "up transition outside the low-power mode");
+    if (trace && upFsm.armed()) {
+        trace->record(TraceCategory::Fsm, TraceEventKind::FsmDisarm,
+                      now, traceFsmUp);
+    }
     upFsm.disarm();
     ++upCount;
     enterState(VsvState::UpClockDist, now);
@@ -65,6 +93,22 @@ void
 VsvController::enterState(VsvState next, Tick now)
 {
     state_ = next;
+    if (trace) {
+        trace->record(TraceCategory::Mode, TraceEventKind::ModeEnter,
+                      now, trace->internString(vsvStateName(next)));
+        // The pipeline sees full-speed edges until the divided clock
+        // reaches the tree's leaves, so the effective divider changes
+        // on RampDown entry (down) and High entry (up).
+        const std::uint64_t divider =
+            (next == VsvState::High || next == VsvState::DownClockDist)
+                ? 1
+                : config.clockDivider;
+        if (divider != tracedDivider) {
+            trace->record(TraceCategory::Clock,
+                          TraceEventKind::ClockDivider, now, divider);
+            tracedDivider = divider;
+        }
+    }
     switch (next) {
       case VsvState::DownClockDist:
         // The divider switches now; the slower clock needs 2 ns of
@@ -74,7 +118,7 @@ VsvController::enterState(VsvState next, Tick now)
         break;
       case VsvState::RampDown:
         rail.rampTo(config.vddLow);
-        power.addRampEnergy();
+        power.addRampEnergy(now);
         stateEnd = now + rampTicks;
         nextEdge = now;  // first half-speed cycle starts immediately
         break;
@@ -87,7 +131,7 @@ VsvController::enterState(VsvState next, Tick now)
         break;
       case VsvState::RampUp:
         rail.rampTo(config.vddHigh);
-        power.addRampEnergy();
+        power.addRampEnergy(now);
         // The full-speed clock-tree distribution overlaps the last
         // 2 ns of the ramp (Section 3.4), so no extra time after it.
         stateEnd = now + rampTicks;
@@ -122,8 +166,7 @@ VsvController::settleIntoLow(Tick now)
       case UpPolicy::LastR:
         break;
       case UpPolicy::Fsm:
-        if (!upFsm.armed() && upFsm.arm())
-            startUpTransition(now);
+        armUpFsm(now);
         break;
     }
 }
@@ -141,6 +184,34 @@ VsvController::settleIntoHigh(Tick now)
         startDownTransition(now);
     } else if (!downFsm.armed()) {
         downFsm.arm();
+        if (trace) {
+            trace->record(TraceCategory::Fsm, TraceEventKind::FsmArm,
+                          now, traceFsmDown);
+        }
+    }
+}
+
+/**
+ * Arm the up-FSM (recording the arm event) and start the transition
+ * immediately when the threshold-0 configuration fires on arm.
+ */
+void
+VsvController::armUpFsm(Tick now)
+{
+    if (upFsm.armed())
+        return;
+    if (trace) {
+        trace->record(TraceCategory::Fsm, TraceEventKind::FsmArm, now,
+                      traceFsmUp);
+    }
+    if (upFsm.arm()) {
+        // threshold == 0: fired on arm, with zero observations.
+        if (trace) {
+            trace->record(TraceCategory::Fsm, TraceEventKind::FsmObserve,
+                          now, traceFsmUp,
+                          observePayload(0, MonitorOutcome::Fired));
+        }
+        startUpTransition(now);
     }
 }
 
@@ -174,8 +245,30 @@ VsvController::beginTick(Tick now)
 
     // Drive this tick's pipeline voltage (average across the tick
     // while ramping, per Section 5.2) and latch-set selection.
-    power.setPipelineVdd(rail.advance());
+    const double vdd = rail.advance();
+    power.setPipelineVdd(vdd);
     power.setLowPowerPath(lowPowerPath());
+    if (trace) {
+        if (vdd != tracedVdd) {
+            trace->record(TraceCategory::Power,
+                          TraceEventKind::VddChange, now,
+                          std::bit_cast<std::uint64_t>(vdd));
+            tracedVdd = vdd;
+        }
+        if (tracedDivider == 0) {
+            // First traced tick: seed the divider counter track and
+            // open the initial mode slice (enterState only records
+            // transitions, so the pre-transition residency would
+            // otherwise be invisible).
+            tracedDivider = lowPowerPath() ? config.clockDivider : 1;
+            trace->record(TraceCategory::Clock,
+                          TraceEventKind::ClockDivider, now,
+                          tracedDivider);
+            trace->record(TraceCategory::Mode,
+                          TraceEventKind::ModeEnter, now,
+                          trace->internString(vsvStateName(state_)));
+        }
+    }
 
     // Pipeline clock: full speed in High/DownClockDist, half speed
     // everywhere else.
@@ -214,6 +307,8 @@ VsvController::advanceIdle(Tick now, Tick max_ticks, Tick max_edges)
 
     Tick ticks = 0;
     std::uint64_t edges = 0;
+    Tick first_edge = now; ///< tick of the first skipped edge
+    Tick edge_step = 1;    ///< tick distance between skipped edges
     if (state_ == VsvState::High) {
         // Full-speed clock: every tick is an edge.
         ticks = std::min(max_ticks, edge_budget);
@@ -231,6 +326,8 @@ VsvController::advanceIdle(Tick now, Tick max_ticks, Tick max_edges)
             edges = 1 + (ticks - to_first - 1) / d;
             nextEdge = now + to_first + edges * d;
         }
+        first_edge = now + to_first;
+        edge_step = d;
     }
     if (ticks == 0)
         return {};
@@ -238,7 +335,23 @@ VsvController::advanceIdle(Tick now, Tick max_ticks, Tick max_edges)
     stateTicks[static_cast<std::size_t>(state_)] +=
         static_cast<double>(ticks);
     if (config.enabled && edges > 0) {
-        if (state_ == VsvState::High)
+        const bool high = state_ == VsvState::High;
+        const IssueMonitorFsm &fsm = high ? downFsm : upFsm;
+        if (trace && fsm.armed()) {
+            // Synthesize the per-edge zero-issue observations the
+            // per-tick path would have recorded. The edge budget
+            // stops one observation short of settling, so every
+            // synthesized outcome is Watching (DESIGN.md 5e).
+            const std::uint64_t which =
+                high ? traceFsmDown : traceFsmUp;
+            for (std::uint64_t i = 0; i < edges; ++i) {
+                trace->record(
+                    TraceCategory::Fsm, TraceEventKind::FsmObserve,
+                    first_edge + i * edge_step, which,
+                    observePayload(0, MonitorOutcome::Watching));
+            }
+        }
+        if (high)
             downFsm.observeIdleRun(edges);
         else
             upFsm.observeIdleRun(edges);
@@ -254,10 +367,22 @@ VsvController::observeIssueRate(std::uint32_t issued)
         return;
 
     if (state_ == VsvState::High && downFsm.armed()) {
-        if (downFsm.observe(issued) == MonitorOutcome::Fired)
+        const MonitorOutcome outcome = downFsm.observe(issued);
+        if (trace) {
+            trace->record(TraceCategory::Fsm, TraceEventKind::FsmObserve,
+                          lastTick, traceFsmDown,
+                          observePayload(issued, outcome));
+        }
+        if (outcome == MonitorOutcome::Fired)
             startDownTransition(lastTick);
     } else if (state_ == VsvState::Low && upFsm.armed()) {
-        if (upFsm.observe(issued) == MonitorOutcome::Fired)
+        const MonitorOutcome outcome = upFsm.observe(issued);
+        if (trace) {
+            trace->record(TraceCategory::Fsm, TraceEventKind::FsmObserve,
+                          lastTick, traceFsmUp,
+                          observePayload(issued, outcome));
+        }
+        if (outcome == MonitorOutcome::Fired)
             startUpTransition(lastTick);
     }
 }
@@ -280,6 +405,10 @@ VsvController::demandL2MissDetected(Tick when, std::uint32_t outstanding)
         startDownTransition(when);
     } else if (!downFsm.armed()) {
         downFsm.arm();
+        if (trace) {
+            trace->record(TraceCategory::Fsm, TraceEventKind::FsmArm,
+                          when, traceFsmDown);
+        }
     }
 }
 
@@ -308,8 +437,7 @@ VsvController::demandL2MissReturned(Tick when, std::uint32_t outstanding)
           case UpPolicy::LastR:
             break;
           case UpPolicy::Fsm:
-            if (!upFsm.armed() && upFsm.arm())
-                startUpTransition(when);
+            armUpFsm(when);
             break;
         }
         break;

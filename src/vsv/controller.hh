@@ -48,6 +48,7 @@
 #include "common/types.hh"
 #include "power/model.hh"
 #include "stats/stats.hh"
+#include "trace/sink.hh"
 #include "vsv/fsm.hh"
 #include "vsv/rail.hh"
 
@@ -184,6 +185,16 @@ class VsvController : public MissListener
 
     void regStats(StatRegistry &registry, const std::string &prefix) const;
 
+    /**
+     * Attach an event sink (nullptr = tracing off, the default).
+     * Emits mode-residency, FSM, voltage and clock-divider events;
+     * advanceIdle() synthesizes the per-edge FSM observations a
+     * per-tick run would have recorded, so traced fast-forward and
+     * --no-fast-forward runs produce equivalent event streams
+     * (DESIGN.md 5e).
+     */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
+
   private:
     void enterState(VsvState next, Tick now);
     void startDownTransition(Tick now);
@@ -191,6 +202,8 @@ class VsvController : public MissListener
     /** Deferred-event replay when a stable state is (re)entered. */
     void settleIntoLow(Tick now);
     void settleIntoHigh(Tick now);
+    /** Arm the up-FSM; fires immediately when threshold == 0. */
+    void armUpFsm(Tick now);
 
     VsvConfig config;
     PowerModel &power;
@@ -214,6 +227,11 @@ class VsvController : public MissListener
     std::uint32_t outstandingDemand = 0;
     /** A return arrived mid-down-transition; replay on entering Low. */
     bool pendingReturnReplay = false;
+
+    TraceSink *trace = nullptr;
+    /** Last values emitted on the vdd/divider counter tracks. */
+    double tracedVdd = -1.0;
+    std::uint64_t tracedDivider = 0;
 
     std::array<Scalar, static_cast<std::size_t>(VsvState::NumStates)>
         stateTicks;

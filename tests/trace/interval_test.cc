@@ -1,0 +1,157 @@
+/** IntervalStatsSampler unit tests: binning, baselines, edges. */
+
+#include <bit>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+#include "trace/interval.hh"
+#include "trace/sink.hh"
+
+namespace vsv
+{
+namespace
+{
+
+struct Sampled
+{
+    Tick ts;
+    std::string series;
+    double value;
+};
+
+std::vector<Sampled>
+collect(const TraceSink &sink)
+{
+    std::vector<Sampled> out;
+    sink.visit([&](const TraceEvent &ev) {
+        ASSERT_EQ(static_cast<TraceEventKind>(ev.kind),
+                  TraceEventKind::IntervalValue);
+        out.push_back(
+            {ev.ts,
+             sink.internedString(static_cast<std::uint32_t>(ev.a)),
+             std::bit_cast<double>(ev.b)});
+    });
+    return out;
+}
+
+TEST(IntervalStatsSamplerTest, BinsPerTickRates)
+{
+    TraceSink sink;
+    StatRegistry registry;
+    Scalar committed;
+    registry.registerScalar("cpu.committed", &committed, "test");
+
+    committed += 50.0;  // pre-baseline work must not leak into epochs
+    IntervalStatsSampler sampler(sink, registry, 100, {"cpu.committed"},
+                                 1000);
+    EXPECT_EQ(sampler.nextSampleAt(), 1100u);
+
+    committed += 30.0;
+    sampler.sample(1100);
+    EXPECT_EQ(sampler.nextSampleAt(), 1200u);
+    committed += 10.0;
+    sampler.sample(1200);
+
+    const std::vector<Sampled> samples = collect(sink);
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_EQ(samples[0].ts, 1000u);  // epochs stamp their start tick
+    EXPECT_EQ(samples[0].series, "interval.cpu.committed");
+    EXPECT_DOUBLE_EQ(samples[0].value, 0.3);
+    EXPECT_EQ(samples[1].ts, 1100u);
+    EXPECT_DOUBLE_EQ(samples[1].value, 0.1);
+}
+
+TEST(IntervalStatsSamplerTest, LateSampleUsesRealSpan)
+{
+    // Fast-forward can overshoot a boundary only up to the horizon
+    // cap; a later per-tick boundary still divides by the true span.
+    TraceSink sink;
+    StatRegistry registry;
+    Scalar misses;
+    registry.registerScalar("mem.demandL2Misses", &misses, "test");
+
+    IntervalStatsSampler sampler(sink, registry, 100,
+                                 {"mem.demandL2Misses"}, 0);
+    misses += 30.0;
+    sampler.sample(150);  // epoch [0, 150)
+    EXPECT_EQ(sampler.nextSampleAt(), 250u);
+
+    const std::vector<Sampled> samples = collect(sink);
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_DOUBLE_EQ(samples[0].value, 0.2);
+}
+
+TEST(IntervalStatsSamplerTest, FinishEmitsPartialEpoch)
+{
+    TraceSink sink;
+    StatRegistry registry;
+    Scalar committed;
+    registry.registerScalar("cpu.committed", &committed, "test");
+
+    IntervalStatsSampler sampler(sink, registry, 100, {"cpu.committed"},
+                                 0);
+    committed += 100.0;
+    sampler.sample(100);
+    committed += 5.0;
+    sampler.finish(150);  // partial epoch [100, 150)
+
+    const std::vector<Sampled> samples = collect(sink);
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_EQ(samples[1].ts, 100u);
+    EXPECT_DOUBLE_EQ(samples[1].value, 0.1);
+}
+
+TEST(IntervalStatsSamplerTest, FinishAtBoundaryEmitsNothing)
+{
+    TraceSink sink;
+    StatRegistry registry;
+    Scalar committed;
+    registry.registerScalar("cpu.committed", &committed, "test");
+
+    IntervalStatsSampler sampler(sink, registry, 100, {"cpu.committed"},
+                                 0);
+    sampler.sample(100);
+    sampler.finish(100);  // zero-length tail: no empty epoch
+    EXPECT_EQ(sink.eventCount(), 1u);
+}
+
+TEST(IntervalStatsSamplerTest, EnergyProbeReportsWatts)
+{
+    TraceSink sink;
+    StatRegistry registry;
+
+    IntervalStatsSampler sampler(sink, registry, 1000, {}, 0);
+    double energy = 500.0;  // pJ; captured as the baseline below
+    sampler.setEnergyProbe([&energy] { return energy; });
+
+    energy += 2000.0;  // 2000 pJ over 1000 ns = 2 mW
+    sampler.sample(1000);
+
+    const std::vector<Sampled> samples = collect(sink);
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_EQ(samples[0].series, "interval.powerW");
+    EXPECT_DOUBLE_EQ(samples[0].value, 0.002);
+}
+
+TEST(IntervalStatsSamplerTest, MaskedCategoryRecordsNothing)
+{
+    TraceSink sink(static_cast<std::uint32_t>(TraceCategory::Mode));
+    StatRegistry registry;
+    IntervalStatsSampler sampler(sink, registry, 100, {}, 0);
+    sampler.sample(100);
+    EXPECT_EQ(sink.eventCount(), 0u);
+}
+
+TEST(IntervalStatsSamplerDeathTest, UnknownScalarIsFatal)
+{
+    TraceSink sink;
+    StatRegistry registry;
+    EXPECT_EXIT(IntervalStatsSampler(sink, registry, 100,
+                                     {"no.such.scalar"}, 0),
+                testing::ExitedWithCode(1), "no.such.scalar");
+}
+
+} // namespace
+} // namespace vsv

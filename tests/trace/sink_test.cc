@@ -1,0 +1,221 @@
+/** TraceSink unit tests: recording, filtering, interning, export. */
+
+#include <bit>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/sink.hh"
+
+#include "minijson.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(TraceSinkTest, StartsEmpty)
+{
+    TraceSink sink;
+    EXPECT_EQ(sink.eventCount(), 0u);
+    std::size_t visited = 0;
+    sink.visit([&](const TraceEvent &) { ++visited; });
+    EXPECT_EQ(visited, 0u);
+}
+
+TEST(TraceSinkTest, RecordsInOrder)
+{
+    TraceSink sink;
+    sink.record(TraceCategory::Mshr, TraceEventKind::MshrLevel, 10, 3);
+    sink.record(TraceCategory::Mshr, TraceEventKind::MshrLevel, 20, 5);
+    ASSERT_EQ(sink.eventCount(), 2u);
+
+    std::vector<TraceEvent> events;
+    sink.visit([&](const TraceEvent &ev) { events.push_back(ev); });
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].ts, 10u);
+    EXPECT_EQ(events[0].a, 3u);
+    EXPECT_EQ(events[1].ts, 20u);
+    EXPECT_EQ(events[1].a, 5u);
+    EXPECT_EQ(events[0].kind,
+              static_cast<std::uint16_t>(TraceEventKind::MshrLevel));
+}
+
+TEST(TraceSinkTest, CategoryMaskFiltersRecording)
+{
+    TraceSink sink(static_cast<std::uint32_t>(TraceCategory::Mode) |
+                   static_cast<std::uint32_t>(TraceCategory::Power));
+    EXPECT_TRUE(sink.wants(TraceCategory::Mode));
+    EXPECT_TRUE(sink.wants(TraceCategory::Power));
+    EXPECT_FALSE(sink.wants(TraceCategory::Fsm));
+    EXPECT_FALSE(sink.wants(TraceCategory::Interval));
+
+    sink.record(TraceCategory::Mode, TraceEventKind::ModeEnter, 1,
+                sink.internString("high"));
+    sink.record(TraceCategory::Fsm, TraceEventKind::FsmArm, 2,
+                traceFsmDown);
+    sink.record(TraceCategory::Power, TraceEventKind::RampEnergy, 3, 0);
+    EXPECT_EQ(sink.eventCount(), 2u);
+
+    sink.visit([&](const TraceEvent &ev) {
+        EXPECT_NE(ev.kind,
+                  static_cast<std::uint16_t>(TraceEventKind::FsmArm));
+    });
+}
+
+TEST(TraceSinkTest, SlabOverflowKeepsEveryEvent)
+{
+    // More than one 65536-event slab, in order across the boundary.
+    constexpr std::size_t n = 150000;
+    TraceSink sink;
+    for (std::size_t i = 0; i < n; ++i) {
+        sink.record(TraceCategory::Mshr, TraceEventKind::MshrLevel, i,
+                    i * 2);
+    }
+    ASSERT_EQ(sink.eventCount(), n);
+
+    std::size_t expected = 0;
+    sink.visit([&](const TraceEvent &ev) {
+        ASSERT_EQ(ev.ts, expected);
+        ASSERT_EQ(ev.a, expected * 2);
+        ++expected;
+    });
+    EXPECT_EQ(expected, n);
+}
+
+TEST(TraceSinkTest, InterningIsStable)
+{
+    TraceSink sink;
+    const std::uint32_t a = sink.internString("interval.powerW");
+    const std::uint32_t b = sink.internString("interval.ipc");
+    const std::uint32_t a2 = sink.internString("interval.powerW");
+    EXPECT_EQ(a, a2);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(sink.internedString(a), "interval.powerW");
+    EXPECT_EQ(sink.internedString(b), "interval.ipc");
+}
+
+TEST(TraceSinkTest, ParseCategories)
+{
+    EXPECT_EQ(TraceSink::parseCategories(""), allTraceCategories);
+    EXPECT_EQ(TraceSink::parseCategories("all"), allTraceCategories);
+    EXPECT_EQ(TraceSink::parseCategories("mode"),
+              static_cast<std::uint32_t>(TraceCategory::Mode));
+    EXPECT_EQ(TraceSink::parseCategories("mode,fsm,ff"),
+              static_cast<std::uint32_t>(TraceCategory::Mode) |
+                  static_cast<std::uint32_t>(TraceCategory::Fsm) |
+                  static_cast<std::uint32_t>(
+                      TraceCategory::FastForward));
+    EXPECT_EXIT(TraceSink::parseCategories("modes"),
+                testing::ExitedWithCode(1), "unknown trace category");
+}
+
+TEST(TraceSinkTest, CategoryNamesRoundTrip)
+{
+    for (std::uint32_t bit = 0; (1u << bit) <= allTraceCategories;
+         ++bit) {
+        const auto cat = static_cast<TraceCategory>(1u << bit);
+        const std::string name(TraceSink::categoryName(cat));
+        EXPECT_EQ(TraceSink::parseCategories(name),
+                  static_cast<std::uint32_t>(cat));
+        EXPECT_EQ(TraceSink::categoryIndex(cat), bit);
+    }
+}
+
+/** Export a scripted event mix and strictly parse it back. */
+TEST(TraceSinkTest, ChromeJsonParsesBack)
+{
+    TraceSink sink;
+    const std::uint32_t high = sink.internString("high");
+    const std::uint32_t down = sink.internString("downClockDist");
+    const std::uint32_t series = sink.internString("interval.powerW");
+
+    const Tick origin = 1000;
+    sink.record(TraceCategory::Mode, TraceEventKind::ModeEnter, 1000,
+                high);
+    sink.record(TraceCategory::Fsm, TraceEventKind::FsmArm, 1010,
+                traceFsmDown);
+    sink.record(TraceCategory::Fsm, TraceEventKind::FsmObserve, 1020,
+                traceFsmDown, packFsmObserve(0, 1));  // watching
+    sink.record(TraceCategory::Fsm, TraceEventKind::FsmObserve, 1030,
+                traceFsmDown, packFsmObserve(0, 2));  // fired
+    sink.record(TraceCategory::Mode, TraceEventKind::ModeEnter, 1030,
+                down);
+    sink.record(TraceCategory::L2Miss, TraceEventKind::MissDetect,
+                1005, 1);
+    sink.record(TraceCategory::Power, TraceEventKind::VddChange, 1040,
+                std::bit_cast<std::uint64_t>(1.775));
+    sink.record(TraceCategory::Clock, TraceEventKind::ClockDivider,
+                1040, 2);
+    sink.record(TraceCategory::FastForward, TraceEventKind::IdleSpan,
+                1050, 100, 50);
+    sink.record(TraceCategory::Interval, TraceEventKind::IntervalValue,
+                1000, series, std::bit_cast<std::uint64_t>(0.125));
+
+    std::ostringstream os;
+    sink.writeChromeJson(os, origin, 1200);
+
+    const minijson::Value doc = minijson::parse(os.str());
+    EXPECT_EQ(doc.at("displayTimeUnit").str(), "ns");
+    const minijson::Array &events = doc.at("traceEvents").array();
+    ASSERT_FALSE(events.empty());
+
+    std::size_t slices = 0;
+    std::size_t counters = 0;
+    std::size_t instants = 0;
+    bool saw_fired = false;
+    bool saw_power_series = false;
+    for (const minijson::Value &ev : events) {
+        ASSERT_TRUE(ev.isObject());
+        const std::string &ph = ev.at("ph").str();
+        EXPECT_EQ(ev.at("pid").num(), 1.0);
+        if (ph == "M")
+            continue;
+        // Timestamps are origin-relative.
+        EXPECT_GE(ev.at("ts").num(), 0.0);
+        EXPECT_LE(ev.at("ts").num(), 200.0);
+        if (ph == "X") {
+            ++slices;
+            EXPECT_GE(ev.at("dur").num(), 0.0);
+        } else if (ph == "C") {
+            ++counters;
+            EXPECT_TRUE(ev.at("args").at("value").isNumber());
+            if (ev.at("name").str() == "interval.powerW") {
+                saw_power_series = true;
+                EXPECT_DOUBLE_EQ(ev.at("args").at("value").num(),
+                                 0.125);
+            }
+        } else if (ph == "i") {
+            ++instants;
+            if (ev.at("name").str() == "down-fsm fired")
+                saw_fired = true;
+        } else {
+            FAIL() << "unexpected ph: " << ph;
+        }
+    }
+    // "high" (closed by the downClockDist entry), "downClockDist"
+    // (closed at end_tick), the down-FSM armed window and the idle
+    // span.
+    EXPECT_EQ(slices, 4u);
+    // pipelineVdd, clockDivider, demandOutstanding, interval.powerW.
+    EXPECT_EQ(counters, 4u);
+    // missDetect plus the down-fsm fired marker.
+    EXPECT_EQ(instants, 2u);
+    EXPECT_TRUE(saw_fired);
+    EXPECT_TRUE(saw_power_series);
+}
+
+/** An event stream with no open slices exports cleanly too. */
+TEST(TraceSinkTest, ChromeJsonEmptySink)
+{
+    TraceSink sink;
+    std::ostringstream os;
+    sink.writeChromeJson(os, 0, 0);
+    const minijson::Value doc = minijson::parse(os.str());
+    // Only the process/thread-name metadata records.
+    for (const minijson::Value &ev : doc.at("traceEvents").array())
+        EXPECT_EQ(ev.at("ph").str(), "M");
+}
+
+} // namespace
+} // namespace vsv
