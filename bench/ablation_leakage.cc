@@ -51,6 +51,9 @@ main(int argc, char **argv)
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "ablation_leakage", jobs);
 
+    if (reportSweepFailures(outcomes) != 0)
+        return 1;
+
     std::cout << "Leakage-node ablation (paper future-work: VSV also "
                  "cuts leakage ~VDD^3)\n";
     std::cout << "(cells: VSV power savings %; leak share = leakage as "

@@ -97,6 +97,9 @@ main(int argc, char **argv)
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "ablation_vsv", jobs);
 
+    if (reportSweepFailures(outcomes) != 0)
+        return 1;
+
     std::cout << "VSV design-constant ablations\n";
     std::cout << "(cells: performance degradation % / power savings % "
                  "vs the *matching* baseline)\n\n";

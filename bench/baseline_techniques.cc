@@ -64,6 +64,9 @@ main(int argc, char **argv)
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "baseline_techniques", jobs);
 
+    if (reportSweepFailures(outcomes) != 0)
+        return 1;
+
     std::cout << "VSV's opportunity vs the baseline's own power/"
                  "performance techniques\n";
     std::cout << "(cells: baseline MR | VSV degradation % / savings %)\n\n";

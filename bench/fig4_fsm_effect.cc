@@ -56,6 +56,9 @@ main(int argc, char **argv)
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "fig4_fsm_effect", jobs);
 
+    if (reportSweepFailures(outcomes) != 0)
+        return 1;
+
     std::vector<Row> rows;
     for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
         const SimulationResult &base = outcomes[3 * b + 0].result;

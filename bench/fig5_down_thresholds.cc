@@ -39,6 +39,9 @@ main(int argc, char **argv)
 
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "fig5_down_thresholds", jobs);
+
+    if (reportSweepFailures(outcomes) != 0)
+        return 1;
     const std::size_t stride = 1 + std::size(thresholds);
 
     std::cout << "Figure 5: Effects of thresholds on high-to-low "

@@ -53,6 +53,9 @@ main(int argc, char **argv)
 
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "fig6_up_thresholds", jobs);
+
+    if (reportSweepFailures(outcomes) != 0)
+        return 1;
     const std::size_t stride = 1 + std::size(variants);
 
     std::cout << "Figure 6: Effects of thresholds on low-to-high "

@@ -65,6 +65,9 @@ main(int argc, char **argv)
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "fig7_timekeeping", jobs);
 
+    if (reportSweepFailures(outcomes) != 0)
+        return 1;
+
     std::vector<Row> rows;
     for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
         const SimulationResult &base = outcomes[4 * b + 0].result;

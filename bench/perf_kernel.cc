@@ -57,6 +57,7 @@ main(int argc, char **argv)
         argc, argv, 200000, 20000, {"mcf", "ammp", "art"});
     const std::string out_path =
         args.config.getString("out", "BENCH_kernel.json");
+    args.config.rejectUnknown("perf_kernel");
 
     std::vector<PairResult> pairs;
     double wall_off = 0.0;

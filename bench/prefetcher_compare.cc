@@ -53,6 +53,9 @@ main(int argc, char **argv)
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "prefetcher_compare", jobs);
 
+    if (reportSweepFailures(outcomes) != 0)
+        return 1;
+
     std::cout << "VSV opportunity under different hardware "
                  "prefetchers\n";
     std::cout << "(per engine: residual MR | VSV degradation % / "

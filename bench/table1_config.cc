@@ -97,7 +97,10 @@ main(int argc, char **argv)
                       "-entry address predictor"});
     table.print(std::cout);
 
-    if (!args.jsonPath.empty())
+    if (!args.jsonPath.empty()) {
         runSweep(args, "table1_config", {});
+    } else {
+        args.config.rejectUnknown("table1_config");
+    }
     return 0;
 }

@@ -42,6 +42,9 @@ main(int argc, char **argv)
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "table2_baseline", jobs);
 
+    if (reportSweepFailures(outcomes) != 0)
+        return 1;
+
     std::cout << "Table 2: Baseline SPEC2K benchmark statistics\n";
     std::cout << "(MR = demand L2 misses per 1000 instructions; paper "
                  "targets in parentheses)\n\n";

@@ -28,6 +28,7 @@ main(int argc, char **argv)
     const std::uint32_t trace_cats = TraceSink::parseCategories(
         config.getString("trace-categories", ""));
     const std::uint64_t interval = config.getUInt("interval-stats", 0);
+    config.rejectUnknown("quickstart");
 
     std::cout << "VSV quickstart: benchmark '" << bench << "', "
               << insts << " instructions\n\n";

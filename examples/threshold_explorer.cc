@@ -46,6 +46,9 @@ main(int argc, char **argv)
 
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "threshold_explorer", jobs);
+
+    if (reportSweepFailures(outcomes) != 0)
+        return 1;
     const SimulationResult &base_result = outcomes[0].result;
 
     std::cout << "Threshold exploration for '" << bench << "' (baseline "

@@ -86,6 +86,7 @@ run(const std::string &path, const Config &config)
     options.trace.categories = TraceSink::parseCategories(
         config.getString("trace-categories", ""));
     options.trace.intervalTicks = config.getUInt("interval-stats", 0);
+    config.rejectUnknown("trace_tool run");
 
     Simulator sim(options);
     const SimulationResult r = sim.run();
@@ -118,10 +119,12 @@ main(int argc, char **argv)
 
     const std::string &verb = positional[0];
     if (verb == "record" && positional.size() == 3) {
-        return record(positional[1], positional[2],
-                      config.getUInt("ops", 500000));
+        const std::uint64_t ops = config.getUInt("ops", 500000);
+        config.rejectUnknown("trace_tool record");
+        return record(positional[1], positional[2], ops);
     }
     if (verb == "info") {
+        config.rejectUnknown("trace_tool info");
         return info(positional[1]);
     }
     if (verb == "run") {

@@ -100,6 +100,7 @@ main(int argc, char **argv)
     Config config;
     config.parseArgs(argc, argv);
     const std::string trace_out = config.getString("trace-out", "");
+    config.rejectUnknown("transition_trace");
 
     VsvConfig vsv_config;
     vsv_config.enabled = true;

@@ -148,14 +148,14 @@ main(int argc, char **argv)
     const bool want_csv = config.getBool("csv", false);
     const bool csv_header = config.getBool("csv-header", false);
 
-    for (const auto &key : config.unusedKeys())
-        warn("unused option: --" + key);
-
     const std::vector<SweepOutcome> outcomes =
         runSweep(args, "vsvsim", jobs);
+    const std::size_t failures = reportSweepFailures(outcomes);
 
     bool first = true;
     for (const SweepOutcome &outcome : outcomes) {
+        if (!outcome.ok())
+            continue;
         const SimulationResult &result = outcome.result;
         if (want_csv) {
             printCsv(result, csv_header && first);
@@ -183,5 +183,5 @@ main(int argc, char **argv)
         }
         first = false;
     }
-    return 0;
+    return failures == 0 ? 0 : 1;
 }

@@ -15,15 +15,17 @@ err() {
 }
 
 # 1. Every documented --flag must be parsed somewhere: its key string
-#    appears quoted in src/ bench/ examples/ (the Config::get* sites).
+#    appears quoted in src/ bench/ examples/ tests/ — either bare
+#    ("retries", the Config::get* sites) or with its dashes
+#    ("--update-golden", flags a test main strips itself).
 #    Allowlisted: meta placeholders and flags belonging to other tools
 #    (cmake --build, ctest --test-dir).
 allow_flags=" options build test-dir output-on-failure "
 for flag in $(grep -ohE -- '--[a-z][a-z0-9-]*' $docs | sed 's/^--//' |
               sort -u); do
     case "$allow_flags" in *" $flag "*) continue ;; esac
-    if ! grep -rq -- "\"$flag\"" src bench examples; then
-        err "flag --$flag is documented but parsed nowhere in src/ bench/ examples/"
+    if ! grep -rqE -- "\"(--)?$flag\"" src bench examples tests; then
+        err "flag --$flag is documented but parsed nowhere in src/ bench/ examples/ tests/"
     fi
 done
 

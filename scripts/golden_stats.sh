@@ -1,0 +1,17 @@
+#!/bin/sh
+# Run the golden-stats regression gate, or - after an intentional
+# behaviour change - regenerate the checked-in golden file:
+#
+#   scripts/golden_stats.sh                  # compare against golden
+#   scripts/golden_stats.sh --update-golden  # rewrite golden JSON
+#
+# The golden file is tests/integration/golden_stats.json; commit its
+# diff together with the change that moved the numbers.
+set -e
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build="$repo/build"
+
+cmake -S "$repo" -B "$build" >/dev/null
+cmake --build "$build" --target golden_stats_test -j >/dev/null
+"$build/tests/golden_stats_test" "$@"

@@ -16,12 +16,14 @@ Config::set(const std::string &key, const std::string &value)
 bool
 Config::has(const std::string &key) const
 {
+    known.insert(key);
     return values.count(key) != 0;
 }
 
 const std::string *
 Config::find(const std::string &key) const
 {
+    known.insert(key);
     auto it = values.find(key);
     if (it == values.end())
         return nullptr;
@@ -117,6 +119,34 @@ Config::unusedKeys() const
             unused.push_back(key);
     }
     return unused;
+}
+
+std::vector<std::string>
+Config::knownKeys() const
+{
+    return {known.begin(), known.end()};
+}
+
+void
+Config::rejectUnknown(const std::string &tool) const
+{
+    std::vector<std::string> unknown;
+    for (const auto &[key, value] : values) {
+        if (!known.count(key))
+            unknown.push_back(key);
+    }
+    if (unknown.empty())
+        return;
+    std::string msg = tool + ": unknown flag";
+    if (unknown.size() > 1)
+        msg += 's';
+    for (const auto &key : unknown)
+        msg += " --" + key;
+    msg += " (accepted:";
+    for (const auto &key : known)
+        msg += " --" + key;
+    msg += ")";
+    fatal(msg);
 }
 
 std::vector<std::pair<std::string, std::string>>

@@ -52,6 +52,21 @@ class Config
     std::vector<std::string> unusedKeys() const;
 
     /**
+     * Every key a getter (or has()) has asked about so far - present
+     * or not - i.e. the flags this binary actually understands.
+     * Sorted.
+     */
+    std::vector<std::string> knownKeys() const;
+
+    /**
+     * Fail fast on misspelled flags: fatal() when any parsed key was
+     * never queried by a getter, naming the offending flags and the
+     * accepted ones. Call after every flag the binary supports has
+     * been read (the experiment harness does this in runSweep).
+     */
+    void rejectUnknown(const std::string &tool) const;
+
+    /**
      * All key/value pairs, sorted by key, without marking them
      * consumed - for echoing the configuration into run manifests.
      */
@@ -62,6 +77,8 @@ class Config
 
     std::map<std::string, std::string> values;
     mutable std::set<std::string> consumed;
+    /** Keys queried at least once, whether or not they were set. */
+    mutable std::set<std::string> known;
 };
 
 } // namespace vsv

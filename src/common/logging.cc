@@ -18,9 +18,35 @@ panic(const std::string &msg)
     std::abort();
 }
 
+namespace
+{
+
+// Depth, not a flag, so nested harness scopes unwind correctly.
+thread_local int throwing_fatal_depth = 0;
+
+} // namespace
+
+ScopedThrowingFatal::ScopedThrowingFatal()
+{
+    ++throwing_fatal_depth;
+}
+
+ScopedThrowingFatal::~ScopedThrowingFatal()
+{
+    --throwing_fatal_depth;
+}
+
+bool
+fatalThrows()
+{
+    return throwing_fatal_depth > 0;
+}
+
 void
 fatal(const std::string &msg)
 {
+    if (fatalThrows())
+        throw FatalError(msg);
     logMessage("fatal", msg);
     std::exit(1);
 }

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -29,6 +30,34 @@ void logMessage(std::string_view tag, const std::string &msg);
 
 /** Exit(1) on an unusable user configuration. */
 [[noreturn]] void fatal(const std::string &msg);
+
+/** What fatal() throws inside a ScopedThrowingFatal region. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While an instance is alive on the current thread, fatal() throws
+ * FatalError instead of calling std::exit(1). The sweep runner's
+ * worker threads use this so a bad configuration inside one run
+ * becomes a structured per-run error record instead of tearing down
+ * the whole campaign. Nests; panic() still aborts (an invariant
+ * violation is a bug, not a recoverable run failure).
+ */
+class ScopedThrowingFatal
+{
+  public:
+    ScopedThrowingFatal();
+    ~ScopedThrowingFatal();
+
+    ScopedThrowingFatal(const ScopedThrowingFatal &) = delete;
+    ScopedThrowingFatal &operator=(const ScopedThrowingFatal &) = delete;
+};
+
+/** True while a ScopedThrowingFatal is alive on this thread. */
+bool fatalThrows();
 
 /** Non-fatal warning. */
 void warn(const std::string &msg);

@@ -1,23 +1,30 @@
 /**
  * @file
- * Strict recursive-descent JSON parser for trace-export tests. Small
+ * Strict recursive-descent JSON parser (plus a writer) for the
+ * documents this repo produces itself: sweep manifests consumed by
+ * `--resume`, golden-stats files, and trace exports under test. Small
  * on purpose: it accepts exactly RFC 8259 JSON and throws
  * std::runtime_error (with a byte offset) on the first deviation, so
- * a malformed trace document fails the test loudly instead of being
- * half-accepted the way lenient viewers would.
+ * a malformed document fails loudly instead of being half-accepted
+ * the way lenient viewers would.
  */
 
-#ifndef VSV_TESTS_TRACE_MINIJSON_HH
-#define VSV_TESTS_TRACE_MINIJSON_HH
+#ifndef VSV_COMMON_MINIJSON_HH
+#define VSV_COMMON_MINIJSON_HH
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 #include <variant>
 #include <vector>
 
+namespace vsv
+{
 namespace minijson
 {
 
@@ -300,6 +307,93 @@ parse(const std::string &text)
     return Parser(text).parse();
 }
 
-} // namespace minijson
+/**
+ * Serialize a Value back to RFC 8259 JSON. Object keys come out in
+ * map order; numbers use %.17g (round-trip exact for doubles) with
+ * non-finite values written as null. Used to re-emit the carried-
+ * forward stats of runs a `--resume` campaign skips.
+ */
+inline void
+write(std::ostream &os, const Value &value)
+{
+    struct Writer
+    {
+        std::ostream &os;
 
-#endif // VSV_TESTS_TRACE_MINIJSON_HH
+        void
+        string(const std::string &s)
+        {
+            os << '"';
+            for (const char c : s) {
+                switch (c) {
+                  case '"':  os << "\\\""; break;
+                  case '\\': os << "\\\\"; break;
+                  case '\n': os << "\\n"; break;
+                  case '\r': os << "\\r"; break;
+                  case '\t': os << "\\t"; break;
+                  default:
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        char buf[8];
+                        std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                      static_cast<unsigned>(c));
+                        os << buf;
+                    } else {
+                        os << c;
+                    }
+                }
+            }
+            os << '"';
+        }
+
+        void
+        operator()(std::nullptr_t) { os << "null"; }
+        void
+        operator()(bool b) { os << (b ? "true" : "false"); }
+        void
+        operator()(double d)
+        {
+            if (!std::isfinite(d)) {
+                os << "null";
+                return;
+            }
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", d);
+            os << buf;
+        }
+        void
+        operator()(const std::string &s) { string(s); }
+        void
+        operator()(const Array &a)
+        {
+            os << '[';
+            bool first = true;
+            for (const Value &v : a) {
+                os << (first ? "" : ",");
+                std::visit(*this, v.v);
+                first = false;
+            }
+            os << ']';
+        }
+        void
+        operator()(const Object &o)
+        {
+            os << '{';
+            bool first = true;
+            for (const auto &[key, v] : o) {
+                os << (first ? "" : ",");
+                string(key);
+                os << ':';
+                std::visit(*this, v.v);
+                first = false;
+            }
+            os << '}';
+        }
+    };
+    Writer writer{os};
+    std::visit(writer, value.v);
+}
+
+} // namespace minijson
+} // namespace vsv
+
+#endif // VSV_COMMON_MINIJSON_HH

@@ -31,6 +31,10 @@ parseExperimentArgs(int argc, char **argv,
     args.traceOut = args.config.getString("trace-out", "");
     args.traceCategories = args.config.getString("trace-categories", "");
     args.intervalStats = args.config.getUInt("interval-stats", 0);
+    args.retries =
+        static_cast<unsigned>(args.config.getUInt("retries", 0));
+    args.resumePath = args.config.getString("resume", "");
+    args.timeoutSeconds = args.config.getDouble("timeout", 0.0);
     // Validate the category spell even when --trace-out is absent so
     // a typo fails fast instead of silently tracing nothing.
     TraceSink::parseCategories(args.traceCategories);
@@ -41,8 +45,24 @@ parseExperimentArgs(int argc, char **argv,
     } else {
         std::stringstream ss(raw);
         std::string item;
-        while (std::getline(ss, item, ','))
+        while (std::getline(ss, item, ',')) {
+            // Stray commas ("mcf,,art", trailing ",") produce empty
+            // items; dropping them silently would hide a malformed
+            // list only when the typo happens to be a comma, so skip
+            // but still validate what remains.
+            if (item.empty())
+                continue;
+            if (!isSpec2kBenchmark(item)) {
+                fatal("--benchmarks=" + raw + ": unknown benchmark '" +
+                      item + "' (see spec2kBenchmarks in "
+                      "src/workload/spec2k.cc for the valid names)");
+            }
             args.benchmarks.push_back(item);
+        }
+        if (args.benchmarks.empty()) {
+            fatal("--benchmarks=" + raw +
+                  ": no benchmark names in the list");
+        }
     }
     return args;
 }
@@ -51,23 +71,63 @@ std::vector<SweepOutcome>
 runSweep(const ExperimentArgs &args, const std::string &tool,
          const std::vector<SweepJob> &jobs)
 {
-    SweepRunner runner(args.jobs);
+    // Every binary has read its extra keys by now; anything still
+    // unqueried is a typo the user should hear about before hours of
+    // simulation, not after.
+    args.config.rejectUnknown(tool);
+
+    SweepRunner runner(args.jobs, args.retries);
 
     // A shared --trace-out base would make concurrent runs clobber
     // one file; give each run its own path, derived from its id.
-    std::vector<SweepJob> uniquified;
-    const std::vector<SweepJob> *to_run = &jobs;
+    std::vector<SweepJob> prepared = jobs;
     if (!args.traceOut.empty() && jobs.size() > 1) {
-        uniquified = jobs;
-        for (SweepJob &job : uniquified) {
+        for (SweepJob &job : prepared) {
             job.options.trace.path =
                 traceOutPathForRun(args.traceOut, job.id);
         }
-        to_run = &uniquified;
+    }
+    if (args.timeoutSeconds > 0.0) {
+        for (SweepJob &job : prepared)
+            job.softTimeoutSeconds = args.timeoutSeconds;
+    }
+
+    // --resume: carry forward runs the prior manifest already
+    // completed (same id AND same configuration fingerprint) and only
+    // execute the rest.
+    std::vector<SweepOutcome> outcomes(prepared.size());
+    std::vector<SweepJob> pending;
+    std::vector<std::size_t> pendingSlot;
+    if (!args.resumePath.empty()) {
+        const SweepResume resume = SweepResume::load(args.resumePath);
+        std::size_t carried = 0;
+        for (std::size_t i = 0; i < prepared.size(); ++i) {
+            const std::string fingerprint =
+                configFingerprint(prepared[i].options);
+            if (const SweepOutcome *prior =
+                    resume.completed(prepared[i].id, fingerprint)) {
+                outcomes[i] = *prior;
+                ++carried;
+            } else {
+                pending.push_back(prepared[i]);
+                pendingSlot.push_back(i);
+            }
+        }
+        inform("--resume " + args.resumePath + ": carrying forward " +
+               std::to_string(carried) + "/" +
+               std::to_string(prepared.size()) + " runs, executing " +
+               std::to_string(pending.size()));
+    } else {
+        pending = prepared;
+        pendingSlot.resize(prepared.size());
+        for (std::size_t i = 0; i < prepared.size(); ++i)
+            pendingSlot[i] = i;
     }
 
     const auto start = std::chrono::steady_clock::now();
-    std::vector<SweepOutcome> outcomes = runner.run(*to_run);
+    const std::vector<SweepOutcome> executed = runner.run(pending);
+    for (std::size_t i = 0; i < executed.size(); ++i)
+        outcomes[pendingSlot[i]] = executed[i];
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -89,6 +149,22 @@ runSweep(const ExperimentArgs &args, const std::string &tool,
                " runs to " + args.jsonPath);
     }
     return outcomes;
+}
+
+std::size_t
+reportSweepFailures(const std::vector<SweepOutcome> &outcomes)
+{
+    std::size_t failures = 0;
+    for (const SweepOutcome &outcome : outcomes) {
+        if (outcome.ok())
+            continue;
+        ++failures;
+        warn("run " + outcome.id + " " +
+             std::string(sweepStatusName(outcome.status)) + " after " +
+             std::to_string(outcome.attempts) + " attempt" +
+             (outcome.attempts == 1 ? "" : "s") + ": " + outcome.error);
+    }
+    return failures;
 }
 
 SimulationOptions
@@ -138,11 +214,15 @@ traceOutPathForRun(const std::string &base, const std::string &run_id)
     }
     const std::size_t dot = base.rfind('.');
     const std::size_t slash = base.rfind('/');
-    // A dot inside a directory component is not an extension.
-    if (dot == std::string::npos ||
-        (slash != std::string::npos && dot < slash)) {
+    // A dot counts as an extension separator only inside the final
+    // path component and not as its first character: ".json" and
+    // "dir/.hidden" are dotfile names, not empty stems.
+    const bool has_ext =
+        dot != std::string::npos && dot != 0 &&
+        (slash == std::string::npos ||
+         (dot > slash && dot != slash + 1));
+    if (!has_ext)
         return base + "." + id;
-    }
     return base.substr(0, dot) + "." + id + base.substr(dot);
 }
 

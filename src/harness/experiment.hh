@@ -49,6 +49,13 @@ struct ExperimentArgs
     std::string traceCategories;
     /** --interval-stats=N: interval-stats epoch length in ticks. */
     std::uint64_t intervalStats = 0;
+    /** --retries=N: extra executions of a failed run (default 0). */
+    unsigned retries = 0;
+    /** --resume=FILE: prior --json manifest whose completed runs are
+     *  carried forward instead of re-executed. */
+    std::string resumePath;
+    /** --timeout=SECONDS: per-run soft timeout (0 = none). */
+    double timeoutSeconds = 0.0;
 };
 
 /** Parse the shared flags; unknown keys stay pending in `config`. */
@@ -58,14 +65,28 @@ ExperimentArgs parseExperimentArgs(
     const std::vector<std::string> &default_benchmarks = {});
 
 /**
- * Execute the grid on a SweepRunner sized by args.jobs and, when
- * --json was given, write the machine-readable sweep document
- * (manifest + per-run results and stats). Outcomes come back in
- * submission order regardless of thread count.
+ * Execute the grid on a SweepRunner sized by args.jobs (honouring
+ * --retries/--timeout) and, when --json was given, write the
+ * machine-readable sweep document (manifest + per-run results and
+ * stats). With --resume, runs already completed in the prior manifest
+ * (matched by id + configuration fingerprint) are carried forward as
+ * Skipped outcomes instead of re-executing. Rejects any command-line
+ * flag no code path has asked for (Config::rejectUnknown), so call it
+ * after the binary has read all of its extra keys. Outcomes come back
+ * in submission order regardless of thread count; failed runs are
+ * Error/Timeout outcomes, never a crash.
  */
 std::vector<SweepOutcome> runSweep(const ExperimentArgs &args,
                                    const std::string &tool,
                                    const std::vector<SweepJob> &jobs);
+
+/**
+ * warn() once per failed (non-ok) outcome and return how many there
+ * were; binaries turn a nonzero return into exit code 1 instead of
+ * silently tabulating default-constructed results.
+ */
+std::size_t reportSweepFailures(
+    const std::vector<SweepOutcome> &outcomes);
 
 /** Baseline/VSV pair for one benchmark and one VSV configuration. */
 struct VsvComparison

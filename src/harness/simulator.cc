@@ -63,9 +63,46 @@ Simulator::Simulator(const SimulationOptions &options)
 
 Simulator::~Simulator() = default;
 
+namespace
+{
+
+/**
+ * Poll an abort hook at a coarse stride: cheap enough to sit in the
+ * hot loops, frequent enough that a soft timeout lands within
+ * milliseconds. The iteration counter (not the tick count) paces the
+ * polls so fast-forward jumps cannot starve the check.
+ */
+class AbortPoller
+{
+  public:
+    explicit AbortPoller(const std::function<bool()> &hook)
+        : hook(hook)
+    {
+    }
+
+    void
+    poll(const char *phase)
+    {
+        if (!hook || (++iterations & 0xfff) != 0)
+            return;
+        if (hook()) {
+            throw SimulationAborted(
+                std::string("simulation aborted by abort hook during ") +
+                phase);
+        }
+    }
+
+  private:
+    const std::function<bool()> &hook;
+    std::uint64_t iterations = 0;
+};
+
+} // namespace
+
 void
 Simulator::functionalWarmup()
 {
+    AbortPoller poller(options.abortHook);
     hierarchy->setWarmupMode(true);
 
     // Pre-touch the resident regions the way the paper's fast-forward
@@ -89,6 +126,7 @@ Simulator::functionalWarmup()
     // Advance one tick per instruction so the Time-Keeping decay
     // logic sees time pass at roughly the measured-phase rate.
     for (std::uint64_t i = 0; i < options.warmupInstructions; ++i) {
+        poller.poll("warmup");
         const MicroOp op = source->next();
         const Tick now = warmupTicks++;
 
@@ -151,7 +189,9 @@ Simulator::run()
 
     const auto wallStart = std::chrono::steady_clock::now();
 
+    AbortPoller poller(options.abortHook);
     while (cpu->committedInstructions() < target) {
+        poller.poll("measurement");
         if (sampler && now >= sampler->nextSampleAt())
             sampler->sample(now);
 

@@ -25,8 +25,10 @@
 #ifndef VSV_HARNESS_SIMULATOR_HH
 #define VSV_HARNESS_SIMULATOR_HH
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "branch/predictor.hh"
@@ -43,6 +45,17 @@
 
 namespace vsv
 {
+
+/**
+ * Thrown by Simulator::run when the abort hook fires. The sweep
+ * runner turns it into a per-run "timeout" outcome; outside a sweep
+ * it propagates like any other exception.
+ */
+class SimulationAborted : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Everything one run needs. */
 struct SimulationOptions
@@ -86,6 +99,14 @@ struct SimulationOptions
      * (DESIGN.md §5e).
      */
     TraceConfig trace{};
+    /**
+     * Soft abort hook: polled every few thousand loop iterations of
+     * warmup and measurement; returning true raises
+     * SimulationAborted. The sweep runner installs a wall-clock
+     * deadline here for per-run soft timeouts (--timeout). Never
+     * consulted when empty, so it cannot perturb results.
+     */
+    std::function<bool()> abortHook;
     PowerModelConfig power{};
     HierarchyConfig hierarchy{};
     CoreConfig core{};

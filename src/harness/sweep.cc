@@ -1,11 +1,17 @@
 #include "sweep.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/minijson.hh"
+#include "stats/stats.hh"
 
 #ifndef VSV_GIT_DESCRIBE
 #define VSV_GIT_DESCRIBE "unknown"
@@ -28,8 +34,20 @@ splitmix64(std::uint64_t x)
 
 } // namespace
 
-SweepRunner::SweepRunner(unsigned jobs)
-    : threads_(jobs)
+std::string_view
+sweepStatusName(SweepStatus status)
+{
+    switch (status) {
+      case SweepStatus::Ok:      return "ok";
+      case SweepStatus::Error:   return "error";
+      case SweepStatus::Timeout: return "timeout";
+      case SweepStatus::Skipped: return "skipped";
+    }
+    return "unknown";
+}
+
+SweepRunner::SweepRunner(unsigned jobs, unsigned retries)
+    : threads_(jobs), retries_(retries)
 {
     if (threads_ == 0) {
         const unsigned hw = std::thread::hardware_concurrency();
@@ -43,6 +61,9 @@ SweepRunner::runOne(const SweepJob &job)
     Simulator sim(job.options);
     SweepOutcome outcome;
     outcome.id = job.id;
+    outcome.status = SweepStatus::Ok;
+    outcome.attempts = 1;
+    outcome.fingerprint = configFingerprint(job.options);
     outcome.result = sim.run();
     outcome.scalars = sim.stats().scalarMap();
     std::ostringstream json;
@@ -51,6 +72,72 @@ SweepRunner::runOne(const SweepJob &job)
     std::ostringstream text;
     sim.stats().dump(text);
     outcome.statsText = text.str();
+    return outcome;
+}
+
+SweepOutcome
+SweepRunner::runOneIsolated(const SweepJob &job)
+{
+    // Install the soft timeout as a wall-clock deadline in the
+    // simulator's abort hook (composed with any caller-supplied hook).
+    SweepJob timed = job;
+    if (job.softTimeoutSeconds > 0.0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(job.softTimeoutSeconds));
+        auto inner = timed.options.abortHook;
+        timed.options.abortHook = [deadline, inner]() {
+            return std::chrono::steady_clock::now() >= deadline ||
+                   (inner && inner());
+        };
+    }
+
+    try {
+        // fatal() throws (instead of exiting) for the duration of the
+        // run, so one bad configuration cannot kill the campaign.
+        ScopedThrowingFatal guard;
+        return runOne(timed);
+    } catch (const SimulationAborted &e) {
+        SweepOutcome outcome;
+        outcome.id = job.id;
+        outcome.fingerprint = configFingerprint(job.options);
+        outcome.status = SweepStatus::Timeout;
+        outcome.attempts = 1;
+        outcome.error = e.what();
+        if (job.softTimeoutSeconds > 0.0) {
+            outcome.error += " (soft timeout " +
+                             std::to_string(job.softTimeoutSeconds) +
+                             "s)";
+        }
+        return outcome;
+    } catch (const std::exception &e) {
+        SweepOutcome outcome;
+        outcome.id = job.id;
+        outcome.fingerprint = configFingerprint(job.options);
+        outcome.status = SweepStatus::Error;
+        outcome.attempts = 1;
+        outcome.error = e.what();
+        return outcome;
+    }
+}
+
+SweepOutcome
+SweepRunner::runWithRetries(const SweepJob &job) const
+{
+    SweepOutcome outcome;
+    for (unsigned attempt = 1; attempt <= retries_ + 1; ++attempt) {
+        outcome = runOneIsolated(job);
+        outcome.attempts = attempt;
+        if (outcome.status == SweepStatus::Ok)
+            break;
+        if (attempt <= retries_) {
+            warn("run " + job.id + " failed (attempt " +
+                 std::to_string(attempt) + "/" +
+                 std::to_string(retries_ + 1) + "): " + outcome.error +
+                 "; retrying");
+        }
+    }
     return outcome;
 }
 
@@ -64,13 +151,13 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
     // Workers pull the next un-run index; each outcome lands in its
     // submission slot, so the result vector is schedule-independent.
     std::atomic<std::size_t> next{0};
-    auto worker = [&jobs, &outcomes, &next]() {
+    auto worker = [this, &jobs, &outcomes, &next]() {
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 return;
-            outcomes[i] = runOne(jobs[i]);
+            outcomes[i] = runWithRetries(jobs[i]);
         }
     };
 
@@ -101,6 +188,67 @@ void
 applyRunSeed(SimulationOptions &options, std::uint64_t sweepSeed)
 {
     options.profile.seed = mixSeed(sweepSeed, options.profile.seed);
+}
+
+std::string
+configFingerprint(const SimulationOptions &o)
+{
+    // Serialize every result-determining knob, then FNV-1a the text.
+    // The profile's calibration constants are all derived from its
+    // name, so name+seed pins the workload; tracing and fast-forward
+    // are deliberately absent (bit-identical by contract, see
+    // DESIGN.md 5d/5e).
+    std::ostringstream s;
+    const char sep = '|';
+    s << o.profile.name << sep << o.profile.seed << sep << o.tracePath
+      << sep << o.traceLoop << sep << o.warmupInstructions << sep
+      << o.measureInstructions << sep << o.timekeeping << sep
+      << o.stridePrefetch << sep;
+    s << o.vsv.enabled << sep << o.vsv.down.threshold << sep
+      << o.vsv.down.period << sep << static_cast<int>(o.vsv.upPolicy)
+      << sep << o.vsv.up.threshold << sep << o.vsv.up.period << sep
+      << o.vsv.ctrlDistTicks << sep << o.vsv.clockTreeTicks << sep
+      << o.vsv.clockDivider << sep << o.vsv.vddHigh << sep
+      << o.vsv.vddLow << sep << o.vsv.slewVoltsPerTick << sep;
+    s << static_cast<int>(o.power.gating) << sep << o.power.vddHigh
+      << sep << o.power.vddLow << sep << o.power.gatingEfficiency << sep
+      << o.power.idleFraction << sep << o.power.rampEnergyPj << sep
+      << o.power.leakageFraction << sep
+      << o.power.converterHighModeFactor << sep;
+    for (const CacheConfig *c :
+         {&o.hierarchy.l1i, &o.hierarchy.l1d, &o.hierarchy.l2}) {
+        s << c->sizeBytes << sep << c->assoc << sep << c->blockBytes
+          << sep << c->hitLatency << sep;
+    }
+    s << o.hierarchy.l1iMshrs << sep << o.hierarchy.l1dMshrs << sep
+      << o.hierarchy.l2Mshrs << sep << o.hierarchy.prefetchBufferLatency
+      << sep << o.hierarchy.l2MissDetectTicks << sep
+      << o.hierarchy.bus.widthBytes << sep << o.hierarchy.bus.occupancy
+      << sep << o.hierarchy.dram.latency << sep;
+    s << o.core.fetchWidth << sep << o.core.dispatchWidth << sep
+      << o.core.issueWidth << sep << o.core.commitWidth << sep
+      << o.core.ruuSize << sep << o.core.lsqSize << sep
+      << o.core.fetchQueueSize << sep << o.core.mispredictPenalty << sep
+      << o.core.dcachePorts << sep;
+    s << o.branch.bimodalEntries << sep << o.branch.gshareEntries << sep
+      << o.branch.chooserEntries << sep << o.branch.historyBits << sep
+      << o.branch.btbEntries << sep << o.branch.btbAssoc << sep
+      << o.branch.rasEntries << sep;
+    s << o.tk.bufferEntries << sep << o.tk.decayResolution << sep
+      << o.tk.deadMultiplier << sep << o.tk.predictorEntries << sep
+      << o.stride.streams << sep << o.stride.degree << sep
+      << o.stride.maxStrideBytes;
+
+    const std::string text = s.str();
+    std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
 }
 
 std::string_view
@@ -160,13 +308,132 @@ writeSweepJson(std::ostream &os, const SweepManifest &manifest,
     first = true;
     for (const auto &outcome : outcomes) {
         os << (first ? "" : ",") << "{\"id\":\"" << jsonEscape(outcome.id)
-           << "\",\"result\":";
-        writeResultJson(os, outcome.result);
+           << "\",\"fingerprint\":\"" << jsonEscape(outcome.fingerprint)
+           << "\",\"status\":\"" << sweepStatusName(outcome.status)
+           << "\",\"attempts\":" << outcome.attempts << ",\"error\":";
+        if (outcome.error.empty())
+            os << "null";
+        else
+            os << '"' << jsonEscape(outcome.error) << '"';
+        os << ",\"result\":";
+        if (outcome.ok())
+            writeResultJson(os, outcome.result);
+        else
+            os << "null";
         // statsJson is already a complete JSON object.
-        os << ",\"stats\":" << outcome.statsJson << '}';
+        os << ",\"stats\":";
+        if (outcome.ok() && !outcome.statsJson.empty())
+            os << outcome.statsJson;
+        else
+            os << "null";
+        os << '}';
         first = false;
     }
     os << "]}\n";
+}
+
+namespace
+{
+
+double
+numberOrZero(const minijson::Value &v)
+{
+    return v.isNumber() ? v.num() : 0.0;
+}
+
+SimulationResult
+parseResult(const minijson::Value &r)
+{
+    SimulationResult out;
+    out.benchmark = r.at("benchmark").str();
+    out.instructions =
+        static_cast<std::uint64_t>(numberOrZero(r.at("instructions")));
+    out.ticks = static_cast<Tick>(numberOrZero(r.at("ticks")));
+    out.pipelineCycles =
+        static_cast<std::uint64_t>(numberOrZero(r.at("pipelineCycles")));
+    out.ipc = numberOrZero(r.at("ipc"));
+    out.mr = numberOrZero(r.at("mr"));
+    out.energyPj = numberOrZero(r.at("energyPj"));
+    out.avgPowerW = numberOrZero(r.at("avgPowerW"));
+    out.downTransitions =
+        static_cast<std::uint64_t>(numberOrZero(r.at("downTransitions")));
+    out.upTransitions =
+        static_cast<std::uint64_t>(numberOrZero(r.at("upTransitions")));
+    out.lowModeFraction = numberOrZero(r.at("lowModeFraction"));
+    if (r.has("throughput") && r.at("throughput").isObject()) {
+        const minijson::Value &t = r.at("throughput");
+        out.wallSeconds = numberOrZero(t.at("wallSeconds"));
+        out.kinstPerSec = numberOrZero(t.at("kinstPerSec"));
+        out.fastForwardedTicks = static_cast<Tick>(
+            numberOrZero(t.at("fastForwardedTicks")));
+        out.ffTickFraction = numberOrZero(t.at("ffTickFraction"));
+    }
+    return out;
+}
+
+} // namespace
+
+SweepResume
+SweepResume::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open --resume manifest: " + path);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+
+    SweepResume resume;
+    try {
+        const minijson::Value doc = minijson::parse(buffer.str());
+        for (const minijson::Value &run : doc.at("runs").array()) {
+            const std::string id = run.at("id").str();
+            // Manifests from before the status field are all-ok by
+            // construction (a failed run used to kill the export).
+            const std::string status =
+                run.has("status") ? run.at("status").str() : "ok";
+            if (status != "ok" && status != "skipped")
+                continue;
+            if (!run.has("fingerprint") ||
+                !run.at("fingerprint").isString())
+                continue;
+
+            SweepOutcome outcome;
+            outcome.id = id;
+            outcome.status = SweepStatus::Skipped;
+            outcome.attempts = 0;
+            outcome.fingerprint = run.at("fingerprint").str();
+            if (run.has("result") && run.at("result").isObject())
+                outcome.result = parseResult(run.at("result"));
+            if (run.has("stats") && run.at("stats").isObject()) {
+                const minijson::Value &stats = run.at("stats");
+                if (stats.has("scalars")) {
+                    for (const auto &[name, value] :
+                         stats.at("scalars").object()) {
+                        outcome.scalars.emplace(name,
+                                                numberOrZero(value));
+                    }
+                }
+                std::ostringstream json;
+                minijson::write(json, stats);
+                outcome.statsJson = json.str();
+            }
+            resume.runs[id] = std::move(outcome);
+        }
+    } catch (const std::exception &e) {
+        fatal("--resume manifest " + path + " is not a valid sweep "
+              "document: " + e.what());
+    }
+    return resume;
+}
+
+const SweepOutcome *
+SweepResume::completed(const std::string &id,
+                       const std::string &fingerprint) const
+{
+    const auto it = runs.find(id);
+    if (it == runs.end() || it->second.fingerprint != fingerprint)
+        return nullptr;
+    return &it->second;
 }
 
 } // namespace vsv

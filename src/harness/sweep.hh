@@ -11,6 +11,17 @@
  * and outcomes are stored by job index. A sweep therefore produces
  * bit-identical stats whether it runs on 1 thread or 8.
  *
+ * Fault isolation: each run executes under ScopedThrowingFatal, so an
+ * exception or fatal() inside one simulation becomes a structured
+ * error record in that run's SweepOutcome instead of taking down the
+ * campaign. A per-run soft timeout (SweepJob::softTimeoutSeconds)
+ * aborts runaway runs via the Simulator's abort hook, and a retry
+ * policy (`--retries`) re-runs failed jobs. Campaigns are resumable:
+ * the exported JSON records per-run status/error/attempts plus a
+ * configuration fingerprint, and SweepResume replays a previous
+ * manifest so `--resume` skips runs already completed with the same
+ * configuration.
+ *
  * The runner also owns the machine-readable output path: one JSON
  * document per sweep with a run manifest (tool, git-describe,
  * configuration echo, seed, thread count, wall-clock) and, per run,
@@ -38,12 +49,38 @@ struct SweepJob
     /** Stable identifier, e.g. "mcf/vsv-fsm"; unique within a sweep. */
     std::string id;
     SimulationOptions options;
+    /**
+     * Per-run soft timeout in wall-clock seconds (0 = none). Enforced
+     * cooperatively through SimulationOptions::abortHook, so an
+     * expired run stops at the next poll point and is recorded as
+     * SweepStatus::Timeout.
+     */
+    double softTimeoutSeconds = 0.0;
 };
+
+/** How one sweep run ended. */
+enum class SweepStatus
+{
+    Ok,       ///< completed normally; result/stats are valid
+    Error,    ///< exception or fatal() escaped the run
+    Timeout,  ///< the abort hook (soft timeout) stopped the run
+    Skipped,  ///< carried forward from a --resume manifest, not re-run
+};
+
+/** JSON spelling of a status: "ok", "error", "timeout", "skipped". */
+std::string_view sweepStatusName(SweepStatus status);
 
 /** What one finished job leaves behind. */
 struct SweepOutcome
 {
     std::string id;
+    SweepStatus status = SweepStatus::Ok;
+    /** What went wrong; empty when status is Ok/Skipped. */
+    std::string error;
+    /** Executions this campaign (includes retries); 0 when skipped. */
+    unsigned attempts = 0;
+    /** configFingerprint() of the options that produced this run. */
+    std::string fingerprint;
     SimulationResult result;
     /** Every registered scalar, by dotted name. */
     std::map<std::string, double> scalars;
@@ -51,28 +88,54 @@ struct SweepOutcome
     std::string statsJson;
     /** The full StatRegistry::dump text (for --stats style output). */
     std::string statsText;
+
+    bool
+    ok() const
+    {
+        return status == SweepStatus::Ok ||
+               status == SweepStatus::Skipped;
+    }
 };
 
 /** Fixed-size thread pool executing SweepJobs in any order. */
 class SweepRunner
 {
   public:
-    /** @param jobs worker threads; 0 picks the hardware concurrency */
-    explicit SweepRunner(unsigned jobs);
+    /**
+     * @param jobs worker threads; 0 picks the hardware concurrency
+     * @param retries extra executions of a failed job (--retries)
+     */
+    explicit SweepRunner(unsigned jobs, unsigned retries = 0);
 
     /**
-     * Run every job; blocks until all are done.
+     * Run every job with per-run fault isolation; blocks until all
+     * are done. Failed runs (after retries) surface as Error/Timeout
+     * outcomes; the process is never torn down by one bad run.
      * @return outcomes in submission order, independent of schedule
      */
     std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs);
 
     unsigned threads() const { return threads_; }
+    unsigned retries() const { return retries_; }
 
-    /** Run one job inline (also the per-worker body). */
+    /**
+     * Run one job inline with no isolation: exceptions propagate and
+     * fatal() exits, as in a plain single-run binary.
+     */
     static SweepOutcome runOne(const SweepJob &job);
 
+    /**
+     * Run one job under fault isolation: never throws; a failure is
+     * returned as an Error/Timeout outcome with attempts == 1. The
+     * soft timeout is installed here.
+     */
+    static SweepOutcome runOneIsolated(const SweepJob &job);
+
   private:
+    SweepOutcome runWithRetries(const SweepJob &job) const;
+
     unsigned threads_;
+    unsigned retries_;
 };
 
 /**
@@ -85,6 +148,15 @@ std::uint64_t mixSeed(std::uint64_t sweepSeed, std::uint64_t profileSeed);
 
 /** Apply mixSeed to a run's workload profile (no-op when seed is 0). */
 void applyRunSeed(SimulationOptions &options, std::uint64_t sweepSeed);
+
+/**
+ * Stable 64-bit hex fingerprint of the options fields that determine
+ * a run's simulated results (workload, window, VSV policy, circuit
+ * constants, machine geometry). Observability settings (tracing,
+ * fast-forward) are excluded: they are proven not to change stats, so
+ * a resumed campaign may vary them without invalidating prior runs.
+ */
+std::string configFingerprint(const SimulationOptions &options);
 
 /** What the sweep JSON records about the campaign itself. */
 struct SweepManifest
@@ -102,11 +174,41 @@ std::string_view buildGitDescribe();
 
 /**
  * Write the sweep document: `{"manifest": {...}, "runs": [...]}` with
- * one entry per outcome carrying the whole-run result and the full
- * stats dump.
+ * one entry per outcome carrying id/fingerprint/status/error/attempts
+ * plus, for completed (ok or carried-forward) runs, the whole-run
+ * result and the full stats dump (`null` for failed runs).
  */
 void writeSweepJson(std::ostream &os, const SweepManifest &manifest,
                     const std::vector<SweepOutcome> &outcomes);
+
+/**
+ * A previous campaign's `--json` manifest, loaded for `--resume`:
+ * runs recorded there as completed ("ok" or "skipped") are carried
+ * forward - result and stats included, so the re-exported manifest
+ * stays whole - and only failed or new runs execute again. Matching
+ * is by run id plus configuration fingerprint, so a run whose
+ * configuration changed since the manifest was written is re-run, not
+ * trusted.
+ */
+class SweepResume
+{
+  public:
+    /** Parse a sweep JSON file; fatal() on unreadable/invalid input. */
+    static SweepResume load(const std::string &path);
+
+    /**
+     * The completed prior outcome for this id, or nullptr when the
+     * run is absent, failed, or its fingerprint does not match.
+     */
+    const SweepOutcome *completed(const std::string &id,
+                                  const std::string &fingerprint) const;
+
+    /** Number of completed runs available to carry forward. */
+    std::size_t size() const { return runs.size(); }
+
+  private:
+    std::map<std::string, SweepOutcome> runs;
+};
 
 } // namespace vsv
 

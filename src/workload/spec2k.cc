@@ -382,4 +382,10 @@ spec2kProfile(const std::string &name)
     return it->second;
 }
 
+bool
+isSpec2kBenchmark(const std::string &name)
+{
+    return profiles().count(name) != 0;
+}
+
 } // namespace vsv

@@ -261,6 +261,9 @@ const std::vector<std::string> &highMrBenchmarks();
 /** Calibrated profile for a SPEC2K benchmark; fatal on unknown name. */
 WorkloadProfile spec2kProfile(const std::string &name);
 
+/** True iff a calibrated profile exists for this benchmark name. */
+bool isSpec2kBenchmark(const std::string &name);
+
 } // namespace vsv
 
 #endif // VSV_WORKLOAD_WORKLOAD_HH

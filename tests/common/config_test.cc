@@ -80,5 +80,39 @@ TEST(ConfigTest, HasDoesNotConsume)
     EXPECT_EQ(config.unusedKeys().size(), 1u);
 }
 
+TEST(ConfigTest, KnownKeysRecordsEveryQuery)
+{
+    Config config;
+    (void)config.getInt("alpha", 0);    // miss still registers the key
+    config.set("beta", "1");
+    (void)config.has("beta");
+
+    const auto known = config.knownKeys();
+    ASSERT_EQ(known.size(), 2u);
+    EXPECT_EQ(known[0], "alpha");
+    EXPECT_EQ(known[1], "beta");
+}
+
+TEST(ConfigTest, RejectUnknownPassesWhenAllKeysWereQueried)
+{
+    Config config;
+    config.set("jobs", "4");
+    (void)config.getUInt("jobs", 1);
+    (void)config.getUInt("instructions", 0);  // queried but absent: fine
+    config.rejectUnknown("config_test");      // must not terminate
+    SUCCEED();
+}
+
+TEST(ConfigTest, RejectUnknownDiesNamingBothSides)
+{
+    Config config;
+    config.set("jobs", "4");
+    config.set("instrctions", "5");  // the typo under test
+    (void)config.getUInt("jobs", 1);
+    EXPECT_EXIT(config.rejectUnknown("config_test"),
+                ::testing::ExitedWithCode(1),
+                "unknown flag --instrctions.*accepted:.*--jobs");
+}
+
 } // namespace
 } // namespace vsv

@@ -41,5 +41,48 @@ TEST(LoggingTest, WarnAndInformDoNotTerminate)
     SUCCEED();
 }
 
+TEST(LoggingTest, ScopedThrowingFatalTurnsFatalIntoException)
+{
+    ScopedThrowingFatal guard;
+    EXPECT_THROW(fatal("bad config, but recoverable"), FatalError);
+    try {
+        fatal("message preserved");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "message preserved");
+    }
+}
+
+TEST(LoggingTest, ThrowingFatalScopesNest)
+{
+    EXPECT_FALSE(fatalThrows());
+    {
+        ScopedThrowingFatal outer;
+        EXPECT_TRUE(fatalThrows());
+        {
+            ScopedThrowingFatal inner;
+            EXPECT_TRUE(fatalThrows());
+        }
+        // Still inside the outer scope.
+        EXPECT_TRUE(fatalThrows());
+    }
+    EXPECT_FALSE(fatalThrows());
+}
+
+TEST(LoggingTest, FatalStillExitsOutsideThrowingScope)
+{
+    {
+        ScopedThrowingFatal guard;
+    }
+    EXPECT_EXIT(fatal("back to exiting"), ::testing::ExitedWithCode(1),
+                "back to exiting");
+}
+
+TEST(LoggingTest, PanicAbortsEvenInsideThrowingScope)
+{
+    // Invariant violations must never be swallowed by fault isolation.
+    ScopedThrowingFatal guard;
+    EXPECT_DEATH(panic("invariant, not config"), "invariant");
+}
+
 } // namespace
 } // namespace vsv

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Golden-stats regression gate: replay a small pinned grid and
+ * compare every registered scalar against the checked-in golden
+ * JSON (tests/integration/golden_stats.json). Any drift - a new
+ * scalar, a missing one, or a changed value - fails the test and
+ * prints the offending names, so unintentional behaviour changes in
+ * the simulator are caught by CI rather than by a reader of Figure 4.
+ *
+ * After an *intentional* behaviour change, regenerate the golden file
+ * with `scripts/golden_stats.sh --update-golden` (or run this binary
+ * with that flag) and commit the diff alongside the change.
+ *
+ * Values are compared exactly: the exporter prints %.17g, which
+ * round-trips doubles bit for bit, and the simulator is deterministic
+ * by contract (see DESIGN.md), so any tolerance would only mask bugs.
+ */
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/minijson.hh"
+#include "harness/experiment.hh"
+
+#ifndef VSV_GOLDEN_STATS_JSON
+#error "build must define VSV_GOLDEN_STATS_JSON"
+#endif
+
+namespace vsv
+{
+namespace
+{
+
+bool update_golden = false;
+
+/**
+ * The pinned grid: small enough to run in seconds, wide enough to
+ * exercise the baseline and the full VSV-FSM path on both a pointer
+ * chaser (mcf) and a sequential-chain code (ammp).
+ */
+std::vector<SweepJob>
+goldenGrid()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *bench : {"mcf", "ammp"}) {
+        SimulationOptions base =
+            makeOptions(bench, false, 20000, 5000);
+        jobs.push_back({std::string(bench) + "/base", base});
+
+        SimulationOptions fsm = base;
+        fsm.vsv = fsmVsvConfig();
+        jobs.push_back({std::string(bench) + "/fsm", fsm});
+    }
+    return jobs;
+}
+
+using ScalarMap = std::map<std::string, double>;
+
+std::map<std::string, ScalarMap>
+runGrid()
+{
+    std::map<std::string, ScalarMap> out;
+    for (const SweepOutcome &outcome :
+         SweepRunner(0).run(goldenGrid())) {
+        EXPECT_EQ(outcome.status, SweepStatus::Ok) << outcome.error;
+        out[outcome.id] = outcome.scalars;
+    }
+    return out;
+}
+
+void
+writeGolden(const std::string &path,
+            const std::map<std::string, ScalarMap> &grid)
+{
+    std::ofstream os(path);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    os << "{\"runs\":{";
+    bool first_run = true;
+    for (const auto &[id, scalars] : grid) {
+        os << (first_run ? "" : ",") << '"' << id
+           << "\":{\"scalars\":{";
+        bool first = true;
+        for (const auto &[name, value] : scalars) {
+            os << (first ? "" : ",") << '"' << name
+               << "\":" << jsonNumber(value);
+            first = false;
+        }
+        os << "}}";
+        first_run = false;
+    }
+    os << "}}\n";
+}
+
+std::map<std::string, ScalarMap>
+loadGolden(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        ADD_FAILURE() << "golden file " << path << " is missing; "
+                      << "generate it with scripts/golden_stats.sh "
+                      << "--update-golden and commit it";
+        return {};
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+
+    std::map<std::string, ScalarMap> out;
+    const minijson::Value doc = minijson::parse(buffer.str());
+    for (const auto &[id, run] : doc.at("runs").object()) {
+        ScalarMap &scalars = out[id];
+        for (const auto &[name, value] : run.at("scalars").object())
+            scalars[name] = value.num();
+    }
+    return out;
+}
+
+/** Exact scalar-map comparison with name-level diagnostics. */
+void
+expectSameScalars(const std::string &id, const ScalarMap &golden,
+                  const ScalarMap &current)
+{
+    for (const auto &[name, value] : golden) {
+        const auto it = current.find(name);
+        if (it == current.end()) {
+            ADD_FAILURE() << id << ": scalar " << name
+                          << " vanished (golden value "
+                          << jsonNumber(value) << ")";
+        } else if (it->second != value) {
+            ADD_FAILURE() << id << ": scalar " << name << " drifted: "
+                          << "golden " << jsonNumber(value) << ", now "
+                          << jsonNumber(it->second);
+        }
+    }
+    for (const auto &[name, value] : current) {
+        if (!golden.count(name)) {
+            ADD_FAILURE() << id << ": new scalar " << name << " = "
+                          << jsonNumber(value)
+                          << " is not in the golden file";
+        }
+    }
+}
+
+TEST(GoldenStatsTest, PinnedGridMatchesGoldenFile)
+{
+    const std::map<std::string, ScalarMap> current = runGrid();
+
+    if (update_golden) {
+        writeGolden(VSV_GOLDEN_STATS_JSON, current);
+        std::cout << "updated " << VSV_GOLDEN_STATS_JSON << " with "
+                  << current.size() << " runs\n";
+        return;
+    }
+
+    const std::map<std::string, ScalarMap> golden =
+        loadGolden(VSV_GOLDEN_STATS_JSON);
+    if (golden.empty())
+        return;  // loadGolden already failed the test
+
+    for (const auto &[id, scalars] : golden) {
+        if (!current.count(id))
+            ADD_FAILURE() << "golden run " << id << " was not produced";
+    }
+    for (const auto &[id, scalars] : current) {
+        const auto it = golden.find(id);
+        if (it == golden.end()) {
+            ADD_FAILURE() << "run " << id
+                          << " has no golden entry; regenerate";
+            continue;
+        }
+        expectSameScalars(id, it->second, scalars);
+    }
+}
+
+TEST(GoldenStatsTest, SelfTestDetectsAPerturbedScalar)
+{
+    // The comparison must actually be able to fail: perturb one
+    // scalar and one name and confirm both are flagged.
+    ScalarMap golden{{"cpu.committed", 20000.0}, {"vsv.downs", 3.0}};
+    ScalarMap drifted = golden;
+    drifted["cpu.committed"] = 20001.0;
+
+    ::testing::TestPartResultArray failures;
+    {
+        ::testing::ScopedFakeTestPartResultReporter reporter(
+            ::testing::ScopedFakeTestPartResultReporter::
+                INTERCEPT_ONLY_CURRENT_THREAD,
+            &failures);
+        expectSameScalars("self/drift", golden, drifted);
+
+        ScalarMap missing = golden;
+        missing.erase("vsv.downs");
+        expectSameScalars("self/missing", golden, missing);
+    }
+    ASSERT_EQ(failures.size(), 2);
+    EXPECT_NE(std::string(failures.GetTestPartResult(0).message())
+                  .find("drifted"),
+              std::string::npos);
+    EXPECT_NE(std::string(failures.GetTestPartResult(1).message())
+                  .find("vanished"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace vsv
+
+int
+main(int argc, char **argv)
+{
+    // Strip our flag before gtest sees the command line.
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--update-golden") == 0)
+            vsv::update_golden = true;
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+    ::testing::InitGoogleTest(&argc, argv);
+    if (vsv::update_golden) {
+        // Only the regeneration path; the self-test is irrelevant.
+        ::testing::GTEST_FLAG(filter) =
+            "GoldenStatsTest.PinnedGridMatchesGoldenFile";
+    }
+    return RUN_ALL_TESTS();
+}

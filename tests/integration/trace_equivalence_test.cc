@@ -22,7 +22,7 @@
 #include "harness/experiment.hh"
 #include "harness/simulator.hh"
 
-#include "../trace/minijson.hh"
+#include "common/minijson.hh"
 
 namespace vsv
 {

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "stats/stats.hh"
@@ -107,6 +110,29 @@ TEST(StatRegistryTest, DistributionDumpShowsBuckets)
     std::ostringstream os;
     registry.dump(os);
     EXPECT_NE(os.str().find("mod.dist::2 5"), std::string::npos);
+}
+
+TEST(JsonNumberTest, NonFiniteValuesBecomeNull)
+{
+    // A nan or inf scalar (e.g. a ratio over an empty window) must
+    // not leak into the sweep JSON as the literal "nan"/"inf", which
+    // strict parsers reject.
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(JsonNumberTest, FiniteValuesRoundTripExactly)
+{
+    for (const double value :
+         {0.0, -0.0, 1.0, -2.5, 0.1, 1e300, 5e-324,
+          123456789.123456789}) {
+        const std::string text = jsonNumber(value);
+        EXPECT_NE(text, "null");
+        EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+    }
 }
 
 } // namespace

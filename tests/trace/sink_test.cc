@@ -7,7 +7,7 @@
 
 #include "trace/sink.hh"
 
-#include "minijson.hh"
+#include "common/minijson.hh"
 
 namespace vsv
 {
