@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate BENCH_snapshot.json, the checked-in warmup-snapshot-cache
+# throughput baseline (cold vs cached warmup over a five-point VSV
+# threshold grid per benchmark, Time-Keeping enabled so the trained
+# multi-million-instruction warmups dominate). Extra flags are passed
+# through to bench/perf_snapshot, e.g. --repeat=N or
+# --benchmarks=a,b,c.
+set -e
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build="$repo/build"
+
+cmake -S "$repo" -B "$build" >/dev/null
+cmake --build "$build" --target perf_snapshot -j >/dev/null
+"$build/bench/perf_snapshot" --out="$repo/BENCH_snapshot.json" "$@"

@@ -46,7 +46,23 @@ for p in $(grep -ohE '(src|tests|scripts)/[A-Za-z0-9_./-]+' $docs |
     fi
 done
 
-# 4. Relative markdown link targets must exist.
+# 4. Every checked-in benchmark baseline must be documented: each
+#    BENCH_*.json in the repo root needs a README.md reference, and
+#    each documented BENCH_*.json token needs the file (so a renamed
+#    baseline cannot leave a stale doc or an orphaned artifact).
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    if ! grep -q -- "$f" README.md; then
+        err "baseline $f is checked in but not referenced in README.md"
+    fi
+done
+for f in $(grep -ohE 'BENCH_[A-Za-z0-9_]+\.json' $docs | sort -u); do
+    if [ ! -e "$f" ]; then
+        err "baseline $f is documented but does not exist"
+    fi
+done
+
+# 5. Relative markdown link targets must exist.
 for l in $(grep -ohE '\]\([^)]+\)' $docs | sed 's/^](//; s/)$//' |
            sort -u); do
     case "$l" in http://*|https://*|'#'*) continue ;; esac

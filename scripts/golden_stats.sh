@@ -7,6 +7,10 @@
 #
 # The golden file is tests/integration/golden_stats.json; commit its
 # diff together with the change that moved the numbers.
+#
+# The gate runs the pinned grid twice: once with fresh warmups and
+# once through the warmup snapshot cache, so a snapshot-restore bug
+# that moved any scalar fails here too.
 set -e
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)

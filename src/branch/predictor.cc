@@ -2,6 +2,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -202,6 +203,79 @@ BranchPredictor::resolve(const MicroOp &op, const BranchPrediction &pred)
     if (mispredicted)
         ++mispredicts_;
     return mispredicted;
+}
+
+void
+BranchPredictor::snapshot(SnapshotWriter &writer) const
+{
+    writer.begin("bpred");
+    writer.u32(static_cast<std::uint32_t>(bimodal.size()));
+    writer.u32(static_cast<std::uint32_t>(gshare.size()));
+    writer.u32(static_cast<std::uint32_t>(chooser.size()));
+    writer.u32(static_cast<std::uint32_t>(btb.size()));
+    writer.u32(static_cast<std::uint32_t>(ras.size()));
+    for (const std::uint8_t c : bimodal)
+        writer.u8(c);
+    for (const std::uint8_t c : gshare)
+        writer.u8(c);
+    for (const std::uint8_t c : chooser)
+        writer.u8(c);
+    writer.u32(globalHistory);
+    for (const BtbEntry &entry : btb) {
+        writer.u64(entry.tag);
+        writer.u64(entry.target);
+        writer.u64(entry.lruStamp);
+    }
+    writer.u64(btbStamp);
+    for (const Addr a : ras)
+        writer.u64(a);
+    writer.u32(rasTop);
+    writer.scalar(lookups_);
+    writer.scalar(mispredicts_);
+    writer.scalar(directionMisses);
+    writer.scalar(targetMisses);
+    writer.scalar(btbHits);
+    writer.scalar(rasPushes);
+    writer.scalar(rasPops);
+    writer.end();
+}
+
+void
+BranchPredictor::restore(SnapshotReader &reader)
+{
+    reader.begin("bpred");
+    reader.expectU32(static_cast<std::uint32_t>(bimodal.size()),
+                     "bimodal table size");
+    reader.expectU32(static_cast<std::uint32_t>(gshare.size()),
+                     "gshare table size");
+    reader.expectU32(static_cast<std::uint32_t>(chooser.size()),
+                     "chooser table size");
+    reader.expectU32(static_cast<std::uint32_t>(btb.size()), "BTB size");
+    reader.expectU32(static_cast<std::uint32_t>(ras.size()), "RAS depth");
+    for (std::uint8_t &c : bimodal)
+        c = reader.u8();
+    for (std::uint8_t &c : gshare)
+        c = reader.u8();
+    for (std::uint8_t &c : chooser)
+        c = reader.u8();
+    globalHistory = reader.u32();
+    for (BtbEntry &entry : btb) {
+        entry.tag = reader.u64();
+        entry.target = reader.u64();
+        entry.lruStamp = reader.u64();
+    }
+    btbStamp = reader.u64();
+    for (Addr &a : ras)
+        a = reader.u64();
+    rasTop = reader.u32();
+    reader.scalar(lookups_);
+    reader.scalar(mispredicts_);
+    reader.scalar(directionMisses);
+    reader.scalar(targetMisses);
+    reader.scalar(btbHits);
+    reader.scalar(rasPushes);
+    reader.scalar(rasPops);
+    reader.end();
 }
 
 void

@@ -24,6 +24,9 @@
 namespace vsv
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Configuration of the hybrid predictor. */
 struct BranchPredictorConfig
 {
@@ -79,6 +82,12 @@ class BranchPredictor
 
     /** Register this predictor's stats. */
     void regStats(StatRegistry &registry, const std::string &prefix) const;
+
+    /** Serialize counters, history, BTB, RAS and stats. */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore state saved by snapshot(); geometry must match. */
+    void restore(SnapshotReader &reader);
 
     /** Stats accessors used directly by tests. */
     std::uint64_t lookups() const

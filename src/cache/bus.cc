@@ -2,6 +2,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -30,6 +31,28 @@ MemoryBus::reserve(Tick earliest, std::uint32_t bytes)
     ++transactions;
     busyTicks += static_cast<double>(duration);
     return busyUntil;
+}
+
+void
+MemoryBus::snapshot(SnapshotWriter &writer) const
+{
+    writer.begin("bus");
+    writer.u64(busyUntil);
+    writer.scalar(transactions);
+    writer.scalar(busyTicks);
+    writer.scalar(queueTicks);
+    writer.end();
+}
+
+void
+MemoryBus::restore(SnapshotReader &reader)
+{
+    reader.begin("bus");
+    busyUntil = reader.u64();
+    reader.scalar(transactions);
+    reader.scalar(busyTicks);
+    reader.scalar(queueTicks);
+    reader.end();
 }
 
 void

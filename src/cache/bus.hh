@@ -20,6 +20,9 @@
 namespace vsv
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Bus timing parameters. */
 struct BusConfig
 {
@@ -47,6 +50,12 @@ class MemoryBus
     Tick freeAt() const { return busyUntil; }
 
     void regStats(StatRegistry &registry, const std::string &prefix) const;
+
+    /** Serialize occupancy horizon and stats. */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore state saved by snapshot(). */
+    void restore(SnapshotReader &reader);
 
   private:
     BusConfig config;

@@ -2,6 +2,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -131,6 +132,50 @@ Cache::regStats(StatRegistry &registry, const std::string &prefix) const
                             "dirty blocks evicted (writebacks)");
     registry.registerScalar(prefix + ".writebackSets", &writebackSets,
                             "write hits that newly dirtied a block");
+}
+
+void
+Cache::snapshot(SnapshotWriter &writer) const
+{
+    writer.begin("cache:" + config_.name);
+    writer.u32(numSets_);
+    writer.u32(config_.assoc);
+    writer.u32(config_.blockBytes);
+    writer.u64(stamp);
+    for (const Line &line : lines) {
+        writer.u64(line.tag);
+        writer.b(line.valid);
+        writer.b(line.dirty);
+        writer.u64(line.lruStamp);
+    }
+    writer.scalar(hits_);
+    writer.scalar(misses_);
+    writer.scalar(evictions);
+    writer.scalar(dirtyEvictions);
+    writer.scalar(writebackSets);
+    writer.end();
+}
+
+void
+Cache::restore(SnapshotReader &reader)
+{
+    reader.begin("cache:" + config_.name);
+    reader.expectU32(numSets_, "set count");
+    reader.expectU32(config_.assoc, "associativity");
+    reader.expectU32(config_.blockBytes, "block size");
+    stamp = reader.u64();
+    for (Line &line : lines) {
+        line.tag = reader.u64();
+        line.valid = reader.b();
+        line.dirty = reader.b();
+        line.lruStamp = reader.u64();
+    }
+    reader.scalar(hits_);
+    reader.scalar(misses_);
+    reader.scalar(evictions);
+    reader.scalar(dirtyEvictions);
+    reader.scalar(writebackSets);
+    reader.end();
 }
 
 } // namespace vsv

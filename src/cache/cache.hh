@@ -19,6 +19,9 @@
 namespace vsv
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Static geometry/latency parameters of one cache level. */
 struct CacheConfig
 {
@@ -81,6 +84,12 @@ class Cache
     const CacheConfig &config() const { return config_; }
 
     void regStats(StatRegistry &registry, const std::string &prefix) const;
+
+    /** Serialize tags, LRU state, dirty bits and stats. */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore state saved by snapshot(); the geometry must match. */
+    void restore(SnapshotReader &reader);
 
     std::uint64_t hits() const
     {

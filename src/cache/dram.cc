@@ -1,5 +1,7 @@
 #include "dram.hh"
 
+#include "snapshot/snapshot.hh"
+
 namespace vsv
 {
 
@@ -13,6 +15,22 @@ Dram::access(Tick start)
 {
     ++accesses;
     return start + config.latency;
+}
+
+void
+Dram::snapshot(SnapshotWriter &writer) const
+{
+    writer.begin("dram");
+    writer.scalar(accesses);
+    writer.end();
+}
+
+void
+Dram::restore(SnapshotReader &reader)
+{
+    reader.begin("dram");
+    reader.scalar(accesses);
+    reader.end();
 }
 
 void

@@ -16,6 +16,9 @@
 namespace vsv
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Main-memory timing parameters. */
 struct DramConfig
 {
@@ -35,6 +38,12 @@ class Dram
     Tick access(Tick start);
 
     void regStats(StatRegistry &registry, const std::string &prefix) const;
+
+    /** Serialize stats (the model itself is stateless). */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore state saved by snapshot(). */
+    void restore(SnapshotReader &reader);
 
   private:
     DramConfig config;

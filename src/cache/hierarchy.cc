@@ -1,6 +1,7 @@
 #include "hierarchy.hh"
 
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -359,6 +360,52 @@ MemoryHierarchy::quiescent() const
 {
     return events.empty() && l1iMshrs.inUse() == 0 &&
            l1dMshrs.inUse() == 0 && l2Mshrs.inUse() == 0;
+}
+
+void
+MemoryHierarchy::snapshot(SnapshotWriter &writer) const
+{
+    VSV_ASSERT(quiescent(),
+               "hierarchy snapshot with misses or events in flight");
+    l1i.snapshot(writer);
+    l1d.snapshot(writer);
+    l2.snapshot(writer);
+    l1iMshrs.snapshot(writer);
+    l1dMshrs.snapshot(writer);
+    l2Mshrs.snapshot(writer);
+    bus.snapshot(writer);
+    dram.snapshot(writer);
+
+    writer.begin("hierarchy");
+    writer.scalar(demandL2Misses);
+    writer.scalar(prefetchL2Misses);
+    writer.scalar(bufferHits);
+    writer.scalar(writebacksToL2);
+    writer.scalar(writebacksToMemory);
+    writer.end();
+}
+
+void
+MemoryHierarchy::restore(SnapshotReader &reader)
+{
+    VSV_ASSERT(quiescent(),
+               "hierarchy restore with misses or events in flight");
+    l1i.restore(reader);
+    l1d.restore(reader);
+    l2.restore(reader);
+    l1iMshrs.restore(reader);
+    l1dMshrs.restore(reader);
+    l2Mshrs.restore(reader);
+    bus.restore(reader);
+    dram.restore(reader);
+
+    reader.begin("hierarchy");
+    reader.scalar(demandL2Misses);
+    reader.scalar(prefetchL2Misses);
+    reader.scalar(bufferHits);
+    reader.scalar(writebacksToL2);
+    reader.scalar(writebacksToMemory);
+    reader.end();
 }
 
 void

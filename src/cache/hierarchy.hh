@@ -212,6 +212,18 @@ class MemoryHierarchy : public PrefetchIssuer
 
     void regStats(StatRegistry &registry, const std::string &prefix) const;
 
+    /**
+     * Serialize every warmup-mutable piece of the hierarchy: all three
+     * tag arrays, MSHR stat counters, bus horizon, DRAM stats and the
+     * hierarchy-level scalars. The hierarchy must be quiescent() —
+     * always true right after functional warmup, which generates no
+     * events or MSHR traffic.
+     */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore state saved by snapshot(); geometry must match. */
+    void restore(SnapshotReader &reader);
+
   private:
     /** Which L1 a request entered through. */
     enum class Side : std::uint8_t { Inst, Data };

@@ -1,6 +1,7 @@
 #include "mshr.hh"
 
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -71,6 +72,34 @@ MshrFile::demandOutstanding() const
             ++n;
     }
     return n;
+}
+
+void
+MshrFile::snapshot(SnapshotWriter &writer) const
+{
+    VSV_ASSERT(used == 0,
+               name + ": snapshot of a non-drained MSHR file");
+    writer.begin("mshr:" + name);
+    writer.u32(capacity);
+    writer.u32(used);
+    writer.scalar(allocations);
+    writer.scalar(merges);
+    writer.scalar(fullStalls);
+    writer.end();
+}
+
+void
+MshrFile::restore(SnapshotReader &reader)
+{
+    VSV_ASSERT(used == 0,
+               name + ": restore into a non-drained MSHR file");
+    reader.begin("mshr:" + name);
+    reader.expectU32(capacity, "MSHR capacity");
+    reader.expectU32(0, "in-flight MSHR count");
+    reader.scalar(allocations);
+    reader.scalar(merges);
+    reader.scalar(fullStalls);
+    reader.end();
 }
 
 void

@@ -23,6 +23,9 @@
 namespace vsv
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Callback invoked when the missing block arrives. */
 using MissTarget = std::function<void(Tick)>;
 
@@ -66,6 +69,17 @@ class MshrFile
     std::uint32_t demandOutstanding() const;
 
     void regStats(StatRegistry &registry, const std::string &prefix) const;
+
+    /**
+     * Serialize stats. MissTarget callbacks are not serializable, so
+     * this panics unless the file is drained (used == 0) — always true
+     * at the post-warmup snapshot point, where the hierarchy is
+     * quiescent.
+     */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore state saved by snapshot(); the file must be drained. */
+    void restore(SnapshotReader &reader);
 
   private:
     std::string name;

@@ -1,6 +1,7 @@
 #include "random.hh"
 
 #include <cmath>
+#include <cstddef>
 
 #include "logging.hh"
 
@@ -78,6 +79,19 @@ Rng::chance(double p)
     if (p >= 1.0)
         return true;
     return nextDouble() < p;
+}
+
+std::array<std::uint64_t, 4>
+Rng::stateWords() const
+{
+    return {state[0], state[1], state[2], state[3]};
+}
+
+void
+Rng::setStateWords(const std::array<std::uint64_t, 4> &words)
+{
+    for (std::size_t i = 0; i < words.size(); ++i)
+        state[i] = words[i];
 }
 
 std::uint64_t

@@ -11,6 +11,7 @@
 #ifndef VSV_COMMON_RANDOM_HH
 #define VSV_COMMON_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace vsv
@@ -40,6 +41,12 @@ class Rng
      * success probability p (p in (0,1]); returns values >= 0.
      */
     std::uint64_t nextGeometric(double p);
+
+    /** Raw generator state, for snapshot/restore. */
+    std::array<std::uint64_t, 4> stateWords() const;
+
+    /** Overwrite the generator state with previously saved words. */
+    void setStateWords(const std::array<std::uint64_t, 4> &words);
 
   private:
     std::uint64_t state[4];

@@ -1,8 +1,11 @@
 #include "experiment.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 
@@ -35,6 +38,16 @@ parseExperimentArgs(int argc, char **argv,
         static_cast<unsigned>(args.config.getUInt("retries", 0));
     args.resumePath = args.config.getString("resume", "");
     args.timeoutSeconds = args.config.getDouble("timeout", 0.0);
+    args.snapshotCache = !args.config.getBool("no-snapshot-cache", false);
+    args.snapshotDir = args.config.getString("snapshot-dir", "");
+    if (!args.snapshotDir.empty() && !args.snapshotCache) {
+        fatal("--snapshot-dir requires the snapshot cache "
+              "(drop --no-snapshot-cache)");
+    }
+    if (args.config.getBool("list-benchmarks", false)) {
+        printBenchmarkList(std::cout);
+        std::exit(0);
+    }
     // Validate the category spell even when --trace-out is absent so
     // a typo fails fast instead of silently tracing nothing.
     TraceSink::parseCategories(args.traceCategories);
@@ -67,6 +80,35 @@ parseExperimentArgs(int argc, char **argv,
     return args;
 }
 
+void
+printBenchmarkList(std::ostream &os)
+{
+    TextTable table({"benchmark", "targetIpc", "targetMrBase",
+                     "targetMrTk", "tkWarmupInsts"});
+    for (const std::string &name : spec2kBenchmarks()) {
+        const WorkloadProfile profile = spec2kProfile(name);
+        table.addRow({name, TextTable::num(profile.targetIpc),
+                      TextTable::num(profile.targetMrBase),
+                      TextTable::num(profile.targetMrTk),
+                      std::to_string(profile.tkWarmupInstructions)});
+    }
+    table.print(os);
+}
+
+RepeatTiming
+summarizeRepeats(std::vector<double> seconds)
+{
+    VSV_ASSERT(!seconds.empty(), "summarizing zero repeats");
+    std::sort(seconds.begin(), seconds.end());
+    RepeatTiming timing;
+    timing.minSeconds = seconds.front();
+    const std::size_t n = seconds.size();
+    timing.medianSeconds =
+        n % 2 == 1 ? seconds[n / 2]
+                   : 0.5 * (seconds[n / 2 - 1] + seconds[n / 2]);
+    return timing;
+}
+
 std::vector<SweepOutcome>
 runSweep(const ExperimentArgs &args, const std::string &tool,
          const std::vector<SweepJob> &jobs)
@@ -77,6 +119,16 @@ runSweep(const ExperimentArgs &args, const std::string &tool,
     args.config.rejectUnknown(tool);
 
     SweepRunner runner(args.jobs, args.retries);
+
+    // Warmup deduplication: on by default; every run whose warmup
+    // fingerprint repeats restores a snapshot instead of re-warming
+    // (bit-identical results; see DESIGN.md §5f). --snapshot-dir
+    // additionally persists the snapshots across campaigns.
+    std::unique_ptr<WarmupSnapshotCache> cache;
+    if (args.snapshotCache) {
+        cache = std::make_unique<WarmupSnapshotCache>(args.snapshotDir);
+        runner.enableWarmupSnapshots(*cache);
+    }
 
     // A shared --trace-out base would make concurrent runs clobber
     // one file; give each run its own path, derived from its id.
@@ -139,6 +191,8 @@ runSweep(const ExperimentArgs &args, const std::string &tool,
         manifest.seed = args.seed;
         manifest.threads = runner.threads();
         manifest.wallSeconds = wall_seconds;
+        if (cache)
+            manifest.snapshotCache = cache->stats();
         manifest.config = args.config.items();
 
         std::ofstream os(args.jsonPath);

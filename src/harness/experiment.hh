@@ -56,13 +56,45 @@ struct ExperimentArgs
     std::string resumePath;
     /** --timeout=SECONDS: per-run soft timeout (0 = none). */
     double timeoutSeconds = 0.0;
+    /** Deduplicate warmup across the sweep's runs through a
+     *  WarmupSnapshotCache; --no-snapshot-cache turns it off
+     *  (results are bit-identical either way). */
+    bool snapshotCache = true;
+    /** --snapshot-dir=DIR: persist warmup snapshots on disk so later
+     *  campaigns (e.g. under --resume) skip warmup too. */
+    std::string snapshotDir;
 };
 
-/** Parse the shared flags; unknown keys stay pending in `config`. */
+/**
+ * Parse the shared flags; unknown keys stay pending in `config`.
+ * `--list-benchmarks` prints the SPEC2K profile table (names plus
+ * their Table 2 calibration targets) and exits 0 without running
+ * anything.
+ */
 ExperimentArgs parseExperimentArgs(
     int argc, char **argv, std::uint64_t default_instructions,
     std::uint64_t default_warmup,
     const std::vector<std::string> &default_benchmarks = {});
+
+/**
+ * Print the SPEC2K benchmark table backing --benchmarks: one row per
+ * profile with its Table 2 targets (IPC, baseline MR, MR with
+ * Time-Keeping) and TK warmup length.
+ */
+void printBenchmarkList(std::ostream &os);
+
+/**
+ * Min and median of a set of per-repeat wall times (--repeat=N in the
+ * perf benches). Min is the headline number - it is the least
+ * scheduler-noisy estimate of the true cost - and the median bounds
+ * the jitter.
+ */
+struct RepeatTiming
+{
+    double minSeconds = 0.0;
+    double medianSeconds = 0.0;
+};
+RepeatTiming summarizeRepeats(std::vector<double> seconds);
 
 /**
  * Execute the grid on a SweepRunner sized by args.jobs (honouring

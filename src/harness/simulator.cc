@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -144,13 +145,109 @@ Simulator::functionalWarmup()
     hierarchy->setWarmupMode(false);
 }
 
+void
+Simulator::warmup()
+{
+    if (warmedUp_)
+        return;
+    VSV_ASSERT(!ran, "Simulator::warmup() after run()");
+    functionalWarmup();
+    warmedUp_ = true;
+}
+
+void
+Simulator::snapshotTo(std::ostream &os,
+                      std::string_view fingerprint) const
+{
+    VSV_ASSERT(warmedUp_ && !ran,
+               "snapshotTo() needs warmed-up, not-yet-run state");
+    SnapshotWriter writer(os, fingerprint);
+
+    writer.begin("sim");
+    writer.str(options.profile.name);
+    writer.u64(options.warmupInstructions);
+    writer.u64(warmupTicks);
+    writer.b(options.timekeeping);
+    writer.b(options.stridePrefetch);
+    writer.b(traceReader != nullptr);
+    writer.end();
+
+    power->snapshot(writer);
+    hierarchy->snapshot(writer);
+    predictor->snapshot(writer);
+    if (tk)
+        tk->snapshot(writer);
+    if (stride)
+        stride->snapshot(writer);
+    if (traceReader)
+        traceReader->snapshot(writer);
+    else
+        workload->snapshot(writer);
+    writer.finish();
+}
+
+void
+Simulator::restoreFrom(std::istream &is,
+                       std::string_view expected_fingerprint)
+{
+    VSV_ASSERT(!warmedUp_ && !ran,
+               "restoreFrom() needs a freshly constructed simulator");
+    try {
+        SnapshotReader reader(is);
+        if (!expected_fingerprint.empty() &&
+            reader.fingerprint() != expected_fingerprint) {
+            throw SnapshotError(
+                "snapshot: warmup fingerprint mismatch (snapshot " +
+                reader.fingerprint() + ", this configuration " +
+                std::string(expected_fingerprint) + ")");
+        }
+
+        reader.begin("sim");
+        const std::string name = reader.str();
+        if (name != options.profile.name) {
+            throw SnapshotError("snapshot: profile mismatch ('" + name +
+                                "' vs '" + options.profile.name + "')");
+        }
+        reader.expectU64(options.warmupInstructions,
+                         "warmup instruction count");
+        const Tick snapshot_warmup_ticks = reader.u64();
+        const bool snap_tk = reader.b();
+        const bool snap_stride = reader.b();
+        const bool snap_trace = reader.b();
+        reader.end();
+        if (snap_tk != options.timekeeping ||
+            snap_stride != options.stridePrefetch ||
+            snap_trace != (traceReader != nullptr)) {
+            throw SnapshotError(
+                "snapshot: prefetcher/source wiring mismatch");
+        }
+
+        power->restore(reader);
+        hierarchy->restore(reader);
+        predictor->restore(reader);
+        if (tk)
+            tk->restore(reader);
+        if (stride)
+            stride->restore(reader);
+        if (traceReader)
+            traceReader->restore(reader);
+        else
+            workload->restore(reader);
+        reader.expectEnd();
+        warmupTicks = snapshot_warmup_ticks;
+    } catch (const SnapshotError &e) {
+        fatal(std::string("warmup snapshot unusable: ") + e.what());
+    }
+    warmedUp_ = true;
+}
+
 SimulationResult
 Simulator::run()
 {
     VSV_ASSERT(!ran, "Simulator::run() may only be called once");
-    ran = true;
 
-    functionalWarmup();
+    warmup();
+    ran = true;
 
     // Snapshot the warmup's contribution so results are pure deltas.
     const double energy0 = power->totalEnergyPj();

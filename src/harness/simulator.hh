@@ -26,10 +26,12 @@
 #define VSV_HARNESS_SIMULATOR_HH
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "branch/predictor.hh"
 #include "cache/hierarchy.hh"
@@ -148,6 +150,39 @@ class Simulator
     /** Run warmup + measurement; may be called once. */
     SimulationResult run();
 
+    /**
+     * Run the functional warmup now (idempotent; run() calls it
+     * automatically when neither this nor restoreFrom() has run).
+     * Splitting it out lets a caller warm up once, snapshotTo() the
+     * result, and hand the bytes to other runs of the same
+     * warmup-affecting configuration.
+     */
+    void warmup();
+
+    /**
+     * Serialize the post-warmup state of every warmup-mutable
+     * component into `os` (see src/snapshot/snapshot.hh for the
+     * format). Requires warmup() done and run() not yet called.
+     * `fingerprint` is recorded in the header - pass
+     * warmupFingerprint(options) so restores can verify provenance.
+     */
+    void snapshotTo(std::ostream &os, std::string_view fingerprint) const;
+
+    /**
+     * Adopt post-warmup state from a snapshot stream instead of
+     * warming up; a following run() starts measuring immediately and
+     * produces bit-identical results to a fresh-warmup run. Any
+     * structural problem (corruption, truncation, version skew,
+     * geometry/config mismatch, or - when `expected_fingerprint` is
+     * non-empty - a fingerprint mismatch) is a fatal(): throwable
+     * inside a sweep worker, where the cache treats it as a miss.
+     */
+    void restoreFrom(std::istream &is,
+                     std::string_view expected_fingerprint = {});
+
+    /** True once warmup state exists (warmed up or restored). */
+    bool warmedUp() const { return warmedUp_; }
+
     /** Access to the stat registry (valid after run()). */
     const StatRegistry &stats() const { return registry; }
 
@@ -180,6 +215,7 @@ class Simulator
     std::unique_ptr<IntervalStatsSampler> sampler;
 
     Tick warmupTicks = 0;
+    bool warmedUp_ = false;
     bool ran = false;
 };
 

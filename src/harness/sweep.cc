@@ -56,9 +56,15 @@ SweepRunner::SweepRunner(unsigned jobs, unsigned retries)
 }
 
 SweepOutcome
-SweepRunner::runOne(const SweepJob &job)
+SweepRunner::runOne(const SweepJob &job, WarmupSnapshotCache *cache)
 {
-    Simulator sim(job.options);
+    // With a cache the simulator arrives already warmed (restored or
+    // freshly warmed and published); run() skips straight to the
+    // measured window either way.
+    std::unique_ptr<Simulator> owned =
+        cache ? cache->acquire(job.options)
+              : std::make_unique<Simulator>(job.options);
+    Simulator &sim = *owned;
     SweepOutcome outcome;
     outcome.id = job.id;
     outcome.status = SweepStatus::Ok;
@@ -76,7 +82,8 @@ SweepRunner::runOne(const SweepJob &job)
 }
 
 SweepOutcome
-SweepRunner::runOneIsolated(const SweepJob &job)
+SweepRunner::runOneIsolated(const SweepJob &job,
+                            WarmupSnapshotCache *cache)
 {
     // Install the soft timeout as a wall-clock deadline in the
     // simulator's abort hook (composed with any caller-supplied hook).
@@ -97,7 +104,7 @@ SweepRunner::runOneIsolated(const SweepJob &job)
         // fatal() throws (instead of exiting) for the duration of the
         // run, so one bad configuration cannot kill the campaign.
         ScopedThrowingFatal guard;
-        return runOne(timed);
+        return runOne(timed, cache);
     } catch (const SimulationAborted &e) {
         SweepOutcome outcome;
         outcome.id = job.id;
@@ -127,7 +134,7 @@ SweepRunner::runWithRetries(const SweepJob &job) const
 {
     SweepOutcome outcome;
     for (unsigned attempt = 1; attempt <= retries_ + 1; ++attempt) {
-        outcome = runOneIsolated(job);
+        outcome = runOneIsolated(job, snapshotCache_);
         outcome.attempts = attempt;
         if (outcome.status == SweepStatus::Ok)
             break;
@@ -190,6 +197,101 @@ applyRunSeed(SimulationOptions &options, std::uint64_t sweepSeed)
     options.profile.seed = mixSeed(sweepSeed, options.profile.seed);
 }
 
+namespace
+{
+
+/** FNV-1a 64 over the serialized knob text, as 16 hex digits. */
+std::string
+fingerprintHash(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+// Append helpers shared by configFingerprint (everything that can
+// change results) and warmupFingerprint (the subset that can change
+// post-warmup state). Each appends a trailing separator.
+
+void
+appendPowerKnobs(std::ostream &s, const PowerModelConfig &p)
+{
+    const char sep = '|';
+    s << static_cast<int>(p.gating) << sep << p.vddHigh << sep
+      << p.vddLow << sep << p.gatingEfficiency << sep << p.idleFraction
+      << sep << p.rampEnergyPj << sep << p.leakageFraction << sep
+      << p.converterHighModeFactor << sep;
+}
+
+void
+appendCacheKnobs(std::ostream &s, const HierarchyConfig &h)
+{
+    const char sep = '|';
+    for (const CacheConfig *c : {&h.l1i, &h.l1d, &h.l2}) {
+        s << c->sizeBytes << sep << c->assoc << sep << c->blockBytes
+          << sep << c->hitLatency << sep;
+    }
+}
+
+void
+appendBranchKnobs(std::ostream &s, const BranchPredictorConfig &b)
+{
+    const char sep = '|';
+    s << b.bimodalEntries << sep << b.gshareEntries << sep
+      << b.chooserEntries << sep << b.historyBits << sep
+      << b.btbEntries << sep << b.btbAssoc << sep << b.rasEntries
+      << sep;
+}
+
+void
+appendPrefetcherKnobs(std::ostream &s, const TimekeepingConfig &tk,
+                      const StridePrefetcherConfig &stride)
+{
+    const char sep = '|';
+    s << tk.bufferEntries << sep << tk.decayResolution << sep
+      << tk.deadMultiplier << sep << tk.predictorEntries << sep
+      << stride.streams << sep << stride.degree << sep
+      << stride.maxStrideBytes << sep;
+}
+
+/**
+ * Every workload-generation knob (the Table 2 calibration targets are
+ * reporting-only and deliberately absent). configFingerprint gets by
+ * with name+seed because the stock profiles are pure functions of
+ * their names, but warmup snapshots must also distinguish the custom
+ * profiles tests build under default names - restoring ammp state
+ * into a hand-rolled profile would be silently wrong.
+ */
+void
+appendProfileKnobs(std::ostream &s, const WorkloadProfile &p)
+{
+    const char sep = '|';
+    s << p.name << sep << p.seed << sep << p.loadFrac << sep
+      << p.storeFrac << sep << p.branchFrac << sep << p.fpFrac << sep
+      << p.intMulFrac << sep << p.intDivFrac << sep << p.fpMulFrac
+      << sep << p.fpDivFrac << sep << p.meanDepDist << sep
+      << p.secondSrcProb << sep << p.loadConsumerProb << sep
+      << p.coldConsumerProb << sep << p.coldFrac << sep << p.coldBurst
+      << sep << p.warmFrac << sep << p.hotFootprint << sep
+      << p.warmFootprint << sep << p.coldFootprint << sep
+      << static_cast<int>(p.coldPattern) << sep << p.coldStride << sep
+      << p.scanStreams << sep << p.scanJitterProb << sep
+      << p.chainCount << sep << p.chainMutateProb << sep
+      << p.coldRegularFrac << sep << p.regularFootprint << sep
+      << p.storeColdScale << sep << p.branchNoise << sep
+      << p.codeFootprint << sep << p.callFrac << sep
+      << p.swPrefetchCoverage << sep << p.swPrefetchLookahead << sep
+      << p.tkWarmupInstructions << sep;
+}
+
+} // namespace
+
 std::string
 configFingerprint(const SimulationOptions &o)
 {
@@ -210,16 +312,8 @@ configFingerprint(const SimulationOptions &o)
       << o.vsv.ctrlDistTicks << sep << o.vsv.clockTreeTicks << sep
       << o.vsv.clockDivider << sep << o.vsv.vddHigh << sep
       << o.vsv.vddLow << sep << o.vsv.slewVoltsPerTick << sep;
-    s << static_cast<int>(o.power.gating) << sep << o.power.vddHigh
-      << sep << o.power.vddLow << sep << o.power.gatingEfficiency << sep
-      << o.power.idleFraction << sep << o.power.rampEnergyPj << sep
-      << o.power.leakageFraction << sep
-      << o.power.converterHighModeFactor << sep;
-    for (const CacheConfig *c :
-         {&o.hierarchy.l1i, &o.hierarchy.l1d, &o.hierarchy.l2}) {
-        s << c->sizeBytes << sep << c->assoc << sep << c->blockBytes
-          << sep << c->hitLatency << sep;
-    }
+    appendPowerKnobs(s, o.power);
+    appendCacheKnobs(s, o.hierarchy);
     s << o.hierarchy.l1iMshrs << sep << o.hierarchy.l1dMshrs << sep
       << o.hierarchy.l2Mshrs << sep << o.hierarchy.prefetchBufferLatency
       << sep << o.hierarchy.l2MissDetectTicks << sep
@@ -230,25 +324,39 @@ configFingerprint(const SimulationOptions &o)
       << o.core.ruuSize << sep << o.core.lsqSize << sep
       << o.core.fetchQueueSize << sep << o.core.mispredictPenalty << sep
       << o.core.dcachePorts << sep;
-    s << o.branch.bimodalEntries << sep << o.branch.gshareEntries << sep
-      << o.branch.chooserEntries << sep << o.branch.historyBits << sep
-      << o.branch.btbEntries << sep << o.branch.btbAssoc << sep
-      << o.branch.rasEntries << sep;
-    s << o.tk.bufferEntries << sep << o.tk.decayResolution << sep
-      << o.tk.deadMultiplier << sep << o.tk.predictorEntries << sep
-      << o.stride.streams << sep << o.stride.degree << sep
-      << o.stride.maxStrideBytes;
+    appendBranchKnobs(s, o.branch);
+    appendPrefetcherKnobs(s, o.tk, o.stride);
+    return fingerprintHash(s.str());
+}
 
-    const std::string text = s.str();
-    std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64
-    for (const char c : text) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001b3ULL;
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(hash));
-    return buf;
+std::string
+warmupFingerprint(const SimulationOptions &o)
+{
+    // Only knobs that can influence post-warmup state participate, so
+    // every measurement variation of a benchmark (the VSV policy grid,
+    // the measure window, core widths, DRAM latency) shares one
+    // warmup. MSHR capacities and table geometries are included even
+    // though warmup leaves them empty: the snapshot format guards
+    // them, and a guard mismatch must mean corruption, never a
+    // same-fingerprint restore. Full precision on doubles - a
+    // fingerprint collision here silently reuses the wrong state,
+    // where configFingerprint's worst case is only a spurious re-run.
+    std::ostringstream s;
+    s.precision(17);
+    const char sep = '|';
+    s << "warmup-v1" << sep;
+    appendProfileKnobs(s, o.profile);
+    s << o.tracePath << sep << o.traceLoop << sep
+      << o.warmupInstructions << sep << o.timekeeping << sep
+      << o.stridePrefetch << sep;
+    appendPowerKnobs(s, o.power);
+    appendCacheKnobs(s, o.hierarchy);
+    s << o.hierarchy.l1iMshrs << sep << o.hierarchy.l1dMshrs << sep
+      << o.hierarchy.l2Mshrs << sep << o.hierarchy.bus.widthBytes
+      << sep << o.hierarchy.bus.occupancy << sep;
+    appendBranchKnobs(s, o.branch);
+    appendPrefetcherKnobs(s, o.tk, o.stride);
+    return fingerprintHash(s.str());
 }
 
 std::string_view
@@ -297,7 +405,14 @@ writeSweepJson(std::ostream &os, const SweepManifest &manifest,
        << ",\"seed\":" << manifest.seed
        << ",\"threads\":" << manifest.threads
        << ",\"wallSeconds\":" << jsonNumber(manifest.wallSeconds)
-       << ",\"config\":{";
+       << ",\"snapshotCache\":{"
+       << "\"enabled\":"
+       << (manifest.snapshotCache.enabled ? "true" : "false")
+       << ",\"hits\":" << manifest.snapshotCache.hits
+       << ",\"misses\":" << manifest.snapshotCache.misses
+       << ",\"diskHits\":" << manifest.snapshotCache.diskHits
+       << ",\"failures\":" << manifest.snapshotCache.failures
+       << "},\"config\":{";
     bool first = true;
     for (const auto &[key, value] : manifest.config) {
         os << (first ? "" : ",") << '"' << jsonEscape(key) << "\":\""

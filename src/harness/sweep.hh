@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "harness/simulator.hh"
+#include "harness/warmup_cache.hh"
 
 namespace vsv
 {
@@ -119,23 +120,44 @@ class SweepRunner
     unsigned retries() const { return retries_; }
 
     /**
-     * Run one job inline with no isolation: exceptions propagate and
-     * fatal() exits, as in a plain single-run binary.
+     * Deduplicate functional warmup across this runner's jobs through
+     * `cache` (shared by all workers; must outlive run()). Runs whose
+     * warmup fingerprints collide warm up once and restore snapshots
+     * thereafter - bit-identical results either way.
      */
-    static SweepOutcome runOne(const SweepJob &job);
+    void enableWarmupSnapshots(WarmupSnapshotCache &cache)
+    {
+        snapshotCache_ = &cache;
+    }
+
+    const WarmupSnapshotCache *warmupCache() const
+    {
+        return snapshotCache_;
+    }
+
+    /**
+     * Run one job inline with no isolation: exceptions propagate and
+     * fatal() exits, as in a plain single-run binary. A non-null
+     * `cache` deduplicates the warmup (see enableWarmupSnapshots).
+     */
+    static SweepOutcome runOne(const SweepJob &job,
+                               WarmupSnapshotCache *cache = nullptr);
 
     /**
      * Run one job under fault isolation: never throws; a failure is
      * returned as an Error/Timeout outcome with attempts == 1. The
      * soft timeout is installed here.
      */
-    static SweepOutcome runOneIsolated(const SweepJob &job);
+    static SweepOutcome runOneIsolated(const SweepJob &job,
+                                       WarmupSnapshotCache *cache =
+                                           nullptr);
 
   private:
     SweepOutcome runWithRetries(const SweepJob &job) const;
 
     unsigned threads_;
     unsigned retries_;
+    WarmupSnapshotCache *snapshotCache_ = nullptr;
 };
 
 /**
@@ -158,6 +180,21 @@ void applyRunSeed(SimulationOptions &options, std::uint64_t sweepSeed);
  */
 std::string configFingerprint(const SimulationOptions &options);
 
+/**
+ * Stable 64-bit hex fingerprint of exactly the options that can
+ * influence post-warmup simulator state: the full workload profile
+ * (every generation knob plus name and seed - tests run custom
+ * profiles under default names), the trace source, the warmup window,
+ * which prefetcher trains, the power config, cache/bus geometry, MSHR
+ * capacities (the snapshot format guards them) and the predictor/
+ * prefetcher table shapes. Measurement-only knobs (measure window,
+ * VSV policy, core widths, DRAM latency, fast-forward, tracing) are
+ * excluded, which is what lets every VSV configuration of a benchmark
+ * share one warmup. Keys the WarmupSnapshotCache and is embedded in
+ * snapshot headers for provenance checks.
+ */
+std::string warmupFingerprint(const SimulationOptions &options);
+
 /** What the sweep JSON records about the campaign itself. */
 struct SweepManifest
 {
@@ -165,6 +202,8 @@ struct SweepManifest
     std::uint64_t seed = 0;           ///< --seed (0 = profile defaults)
     unsigned threads = 1;             ///< worker threads actually used
     double wallSeconds = 0.0;         ///< sweep wall-clock duration
+    /** Warmup snapshot cache effectiveness (enabled=false = off). */
+    SnapshotCacheStats snapshotCache;
     /** Echo of the command-line configuration (Config::items()). */
     std::vector<std::pair<std::string, std::string>> config;
 };

@@ -1,0 +1,180 @@
+#include "warmup_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "harness/sweep.hh"
+
+namespace vsv
+{
+
+WarmupSnapshotCache::WarmupSnapshotCache(std::string disk_dir)
+    : diskDir_(std::move(disk_dir))
+{
+    if (diskDir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(diskDir_, ec);
+    if (ec) {
+        fatal("cannot create snapshot directory " + diskDir_ + ": " +
+              ec.message());
+    }
+}
+
+std::string
+WarmupSnapshotCache::snapshotPath(const std::string &fingerprint) const
+{
+    return diskDir_ + "/" + fingerprint + ".vsvsnap";
+}
+
+bool
+WarmupSnapshotCache::tryRestore(Simulator &sim, const std::string &bytes,
+                                const std::string &fingerprint)
+{
+    try {
+        // restoreFrom reports structural problems through fatal();
+        // turn those into exceptions (the guard nests safely inside a
+        // sweep worker's own) so a bad snapshot degrades to a fresh
+        // warmup instead of failing the run.
+        ScopedThrowingFatal guard;
+        std::istringstream is(bytes);
+        sim.restoreFrom(is, fingerprint);
+        return true;
+    } catch (const std::exception &e) {
+        warn("warmup snapshot " + fingerprint + " rejected: " + e.what());
+        return false;
+    }
+}
+
+WarmupSnapshotCache::Bytes
+WarmupSnapshotCache::loadFromDisk(const std::string &fingerprint) const
+{
+    std::ifstream is(snapshotPath(fingerprint), std::ios::binary);
+    if (!is)
+        return nullptr;  // nothing on disk for this fingerprint
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    return std::make_shared<const std::string>(buffer.str());
+}
+
+void
+WarmupSnapshotCache::saveToDisk(const std::string &fingerprint,
+                                const std::string &bytes) const
+{
+    // Write-to-temp + rename so a concurrent reader (or a killed
+    // campaign) never sees a partial snapshot; the temp name is
+    // per-process so two campaigns sharing a directory cannot
+    // interleave writes. Disk trouble only costs persistence, never
+    // the run.
+    const std::string path = snapshotPath(fingerprint);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os ||
+        !os.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()))) {
+        warn("cannot write warmup snapshot " + tmp +
+             "; caching in memory only");
+        std::remove(tmp.c_str());
+        return;
+    }
+    os.close();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot move warmup snapshot into place: " + path);
+        std::remove(tmp.c_str());
+    }
+}
+
+std::unique_ptr<Simulator>
+WarmupSnapshotCache::acquire(const SimulationOptions &options)
+{
+    const std::string fingerprint = warmupFingerprint(options);
+
+    std::promise<Bytes> promise;
+    std::shared_future<Bytes> future;
+    bool computer = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = entries.find(fingerprint);
+        if (it == entries.end()) {
+            future = promise.get_future().share();
+            entries.emplace(fingerprint, future);
+            computer = true;
+        } else {
+            future = it->second;
+        }
+    }
+
+    if (!computer) {
+        // Another worker owns this fingerprint; block until it
+        // publishes. Null bytes mean its computation failed - fall
+        // back to a fresh warmup, which will surface the same error
+        // under this run's id if the configuration itself is bad.
+        const Bytes bytes = future.get();
+        if (bytes) {
+            auto sim = std::make_unique<Simulator>(options);
+            if (tryRestore(*sim, *bytes, fingerprint)) {
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                return sim;
+            }
+            // A partially restored simulator is unusable; discard it
+            // and warm a fresh one.
+            failures_.fetch_add(1, std::memory_order_relaxed);
+        }
+        auto sim = std::make_unique<Simulator>(options);
+        sim->warmup();
+        return sim;
+    }
+
+    // This worker computes the fingerprint's warmup: probe the disk,
+    // else warm up fresh; either way publish the bytes exactly once.
+    try {
+        if (!diskDir_.empty()) {
+            if (const Bytes bytes = loadFromDisk(fingerprint)) {
+                auto sim = std::make_unique<Simulator>(options);
+                if (tryRestore(*sim, *bytes, fingerprint)) {
+                    diskHits_.fetch_add(1, std::memory_order_relaxed);
+                    promise.set_value(bytes);
+                    return sim;
+                }
+                failures_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        auto sim = std::make_unique<Simulator>(options);
+        sim->warmup();
+        std::ostringstream os;
+        sim->snapshotTo(os, fingerprint);
+        const Bytes bytes =
+            std::make_shared<const std::string>(os.str());
+        if (!diskDir_.empty())
+            saveToDisk(fingerprint, *bytes);
+        promise.set_value(bytes);
+        return sim;
+    } catch (...) {
+        // Unblock the waiters before propagating; they warm up fresh.
+        promise.set_value(nullptr);
+        throw;
+    }
+}
+
+SnapshotCacheStats
+WarmupSnapshotCache::stats() const
+{
+    SnapshotCacheStats out;
+    out.enabled = true;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.diskHits = diskHits_.load(std::memory_order_relaxed);
+    out.failures = failures_.load(std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace vsv

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -290,6 +291,49 @@ PowerModel::averagePowerW(Tick duration_ticks) const
         return 0.0;
     // pJ per ns == mW; convert to watts.
     return totalEnergyPj() / static_cast<double>(duration_ticks) * 1e-3;
+}
+
+void
+PowerModel::snapshot(SnapshotWriter &writer) const
+{
+    writer.begin("power");
+    writer.u32(static_cast<std::uint32_t>(numPowerStructures));
+    writer.f64(pipelineVdd_);
+    writer.b(lowPowerPath);
+    writer.b(anyAccessThisTick);
+    for (const double accesses : accessesThisTick)
+        writer.f64(accesses);
+    for (const Scalar &energy : energyPj)
+        writer.scalar(energy);
+    writer.scalar(rampEnergy);
+    writer.scalar(leakageEnergy);
+    writer.scalar(ticks);
+    writer.scalar(pipelineEdges);
+    writer.u64(pendingIdleEdges);
+    writer.u64(pendingIdleNoEdges);
+    writer.end();
+}
+
+void
+PowerModel::restore(SnapshotReader &reader)
+{
+    reader.begin("power");
+    reader.expectU32(static_cast<std::uint32_t>(numPowerStructures),
+                     "power structure count");
+    pipelineVdd_ = reader.f64();
+    lowPowerPath = reader.b();
+    anyAccessThisTick = reader.b();
+    for (double &accesses : accessesThisTick)
+        accesses = reader.f64();
+    for (Scalar &energy : energyPj)
+        reader.scalar(energy);
+    reader.scalar(rampEnergy);
+    reader.scalar(leakageEnergy);
+    reader.scalar(ticks);
+    reader.scalar(pipelineEdges);
+    pendingIdleEdges = reader.u64();
+    pendingIdleNoEdges = reader.u64();
+    reader.end();
 }
 
 void

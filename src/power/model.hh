@@ -43,6 +43,9 @@
 namespace vsv
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /**
  * Clock-gating style, following Wattch's conditional-clocking modes
  * plus the deterministic clock gating (DCG) the paper's baseline uses.
@@ -167,6 +170,17 @@ class PowerModel
     double averagePowerW(Tick duration_ticks) const;
 
     void regStats(StatRegistry &registry, const std::string &prefix) const;
+
+    /**
+     * Serialize accumulators, per-tick activity and banked idle ticks
+     * exactly as they stand - no implicit flushIdle(), so the restored
+     * model replays the same flush-boundary schedule (and therefore
+     * the same floating-point operation order) as a fresh run.
+     */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore state saved by snapshot(); same config required. */
+    void restore(SnapshotReader &reader);
 
     const PowerModelConfig &config() const { return config_; }
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -112,6 +113,47 @@ StridePrefetcher::probeBuffer(Addr, Tick)
 void
 StridePrefetcher::fillBuffer(Addr, Tick)
 {
+}
+
+void
+StridePrefetcher::snapshot(SnapshotWriter &writer) const
+{
+    writer.begin("stride");
+    writer.u32(static_cast<std::uint32_t>(streams.size()));
+    writer.u64(stamp);
+    for (const Stream &stream : streams) {
+        writer.b(stream.valid);
+        writer.u64(stream.lastAddr);
+        writer.i64(stream.stride);
+        writer.b(stream.confirmed);
+        writer.u64(stream.lruStamp);
+    }
+    writer.scalar(issued);
+    writer.scalar(streamsAllocated);
+    writer.scalar(streamsConfirmed);
+    writer.scalar(missesMatched);
+    writer.end();
+}
+
+void
+StridePrefetcher::restore(SnapshotReader &reader)
+{
+    reader.begin("stride");
+    reader.expectU32(static_cast<std::uint32_t>(streams.size()),
+                     "stream table size");
+    stamp = reader.u64();
+    for (Stream &stream : streams) {
+        stream.valid = reader.b();
+        stream.lastAddr = reader.u64();
+        stream.stride = reader.i64();
+        stream.confirmed = reader.b();
+        stream.lruStamp = reader.u64();
+    }
+    reader.scalar(issued);
+    reader.scalar(streamsAllocated);
+    reader.scalar(streamsConfirmed);
+    reader.scalar(missesMatched);
+    reader.end();
 }
 
 void

@@ -1,7 +1,10 @@
 #include "timekeeping.hh"
 
+#include <algorithm>
+
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -250,6 +253,83 @@ TimekeepingPrefetcher::dumpPredictor() const
     for (const PredictorEntry &entry : predictor)
         result.emplace_back(entry.deltaTags, entry.confidence);
     return result;
+}
+
+void
+TimekeepingPrefetcher::snapshot(SnapshotWriter &writer) const
+{
+    writer.begin("tk");
+    writer.u32(static_cast<std::uint32_t>(frames.size()));
+    writer.u32(static_cast<std::uint32_t>(predictor.size()));
+    for (const Frame &frame : frames) {
+        writer.u64(frame.blockAddr);
+        writer.u64(frame.fillTime);
+        writer.u64(frame.lastAccess);
+        writer.b(frame.deadHandled);
+    }
+    for (const PredictorEntry &entry : predictor) {
+        writer.i32(entry.deltaTags);
+        writer.u8(entry.confidence);
+    }
+    // The FIFO may hold stale slots already consumed from the set, so
+    // both containers are serialized; the set goes out sorted to keep
+    // the byte stream independent of hash-table iteration order.
+    writer.u64(bufferFifo.size());
+    for (const Addr a : bufferFifo)
+        writer.u64(a);
+    std::vector<Addr> resident(bufferSet.begin(), bufferSet.end());
+    std::sort(resident.begin(), resident.end());
+    writer.u64(resident.size());
+    for (const Addr a : resident)
+        writer.u64(a);
+    writer.u64(nextSweepTick);
+    writer.u32(sweepCursor);
+    writer.scalar(issued);
+    writer.scalar(deadPredictions);
+    writer.scalar(trainedPairs);
+    writer.scalar(bufferHits);
+    writer.scalar(bufferInsertions);
+    writer.scalar(bufferReplacements);
+    writer.scalar(predictorMisses);
+    writer.end();
+}
+
+void
+TimekeepingPrefetcher::restore(SnapshotReader &reader)
+{
+    reader.begin("tk");
+    reader.expectU32(static_cast<std::uint32_t>(frames.size()),
+                     "frame count");
+    reader.expectU32(static_cast<std::uint32_t>(predictor.size()),
+                     "predictor size");
+    for (Frame &frame : frames) {
+        frame.blockAddr = reader.u64();
+        frame.fillTime = reader.u64();
+        frame.lastAccess = reader.u64();
+        frame.deadHandled = reader.b();
+    }
+    for (PredictorEntry &entry : predictor) {
+        entry.deltaTags = reader.i32();
+        entry.confidence = reader.u8();
+    }
+    const std::uint64_t fifo_size = reader.u64();
+    bufferFifo.clear();
+    for (std::uint64_t i = 0; i < fifo_size; ++i)
+        bufferFifo.push_back(reader.u64());
+    const std::uint64_t resident_size = reader.u64();
+    bufferSet.clear();
+    for (std::uint64_t i = 0; i < resident_size; ++i)
+        bufferSet.insert(reader.u64());
+    nextSweepTick = reader.u64();
+    sweepCursor = reader.u32();
+    reader.scalar(issued);
+    reader.scalar(deadPredictions);
+    reader.scalar(trainedPairs);
+    reader.scalar(bufferHits);
+    reader.scalar(bufferInsertions);
+    reader.scalar(bufferReplacements);
+    reader.scalar(predictorMisses);
+    reader.end();
 }
 
 void

@@ -101,6 +101,12 @@ class TimekeepingPrefetcher : public Prefetcher
 
     void regStats(StatRegistry &registry, const std::string &prefix) const;
 
+    /** Serialize frames, predictor, buffer, sweep cursor and stats. */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore state saved by snapshot(); geometry must match. */
+    void restore(SnapshotReader &reader);
+
     std::uint64_t prefetchesIssued() const
     {
         return static_cast<std::uint64_t>(issued.value());

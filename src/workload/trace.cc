@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -152,6 +153,41 @@ TraceReader::next()
     --remaining;
     ++consumed;
     return decode(rec);
+}
+
+void
+TraceReader::snapshot(SnapshotWriter &writer) const
+{
+    writer.begin("trace");
+    writer.u64(total);
+    writer.b(loop);
+    writer.u64(remaining);
+    writer.u64(consumed);
+    writer.scalar(wraps_);
+    writer.end();
+}
+
+void
+TraceReader::restore(SnapshotReader &reader)
+{
+    reader.begin("trace");
+    reader.expectU64(total, "trace record count");
+    const bool snapshot_loop = reader.b();
+    if (snapshot_loop != loop)
+        throw SnapshotError("snapshot: trace loop mode mismatch");
+    remaining = reader.u64();
+    if (remaining > total)
+        throw SnapshotError("snapshot: trace cursor out of range");
+    consumed = reader.u64();
+    reader.scalar(wraps_);
+    reader.end();
+
+    // Re-seat the file position on the record the cursor names.
+    std::fseek(file,
+               static_cast<long>(sizeof(TraceHeader) +
+                                 (total - remaining) *
+                                     sizeof(TraceRecord)),
+               SEEK_SET);
 }
 
 void

@@ -31,6 +31,9 @@
 namespace vsv
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Anything that yields a dynamic micro-op stream. */
 class TraceSource
 {
@@ -110,6 +113,12 @@ class TraceReader : public TraceSource
 
     /** Expose the wrap count so silent re-plays show up in results. */
     void regStats(StatRegistry &registry, const std::string &prefix) const;
+
+    /** Serialize the replay cursor and wrap count. */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore the cursor saved by snapshot(); same trace required. */
+    void restore(SnapshotReader &reader);
 
   private:
     void rewindToFirstRecord();

@@ -4,6 +4,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace vsv
 {
@@ -23,11 +24,14 @@ pcHash(Addr pc)
 
 } // namespace
 
-WorkloadGenerator::WorkloadGenerator(const WorkloadProfile &profile)
+WorkloadGenerator::WorkloadGenerator(const WorkloadProfile &profile,
+                                     std::uint32_t batch)
     : profile_(profile),
       rng(profile.seed * 0x2545f4914f6cdd1dULL + 1),
-      addrRng(profile.seed * 0x9e3779b97f4a7c15ULL + 7)
+      addrRng(profile.seed * 0x9e3779b97f4a7c15ULL + 7),
+      batch_(batch)
 {
+    VSV_ASSERT(batch >= 1, profile.name + ": zero op batch");
     VSV_ASSERT(profile.loadFrac + profile.storeFrac + profile.branchFrac
                    <= 1.0,
                profile.name + ": instruction mix exceeds 1.0");
@@ -357,6 +361,21 @@ WorkloadGenerator::makeCompute()
 MicroOp
 WorkloadGenerator::next()
 {
+    if (opBufferPos == opBuffer.size()) {
+        opBuffer.clear();
+        opBufferPos = 0;
+        if (opBuffer.capacity() < batch_)
+            opBuffer.reserve(batch_);
+        for (std::uint32_t i = 0; i < batch_; ++i)
+            opBuffer.push_back(generate());
+    }
+    ++delivered;
+    return opBuffer[opBufferPos++];
+}
+
+MicroOp
+WorkloadGenerator::generate()
+{
     ++position;
 
     ++sinceLastLoad;  // distance from the latest load to this op
@@ -397,6 +416,166 @@ WorkloadGenerator::next()
         op = makeCompute();
     }
     return op;
+}
+
+namespace
+{
+
+void
+writeOp(SnapshotWriter &writer, const MicroOp &op)
+{
+    writer.u8(static_cast<std::uint8_t>(op.cls));
+    writer.u8(static_cast<std::uint8_t>(op.brKind));
+    writer.b(op.taken);
+    writer.u32(op.depDist1);
+    writer.u32(op.depDist2);
+    writer.u64(op.pc);
+    writer.u64(op.addr);
+    writer.u64(op.target);
+}
+
+MicroOp
+readOp(SnapshotReader &reader)
+{
+    MicroOp op;
+    const std::uint8_t cls = reader.u8();
+    if (cls >= static_cast<std::uint8_t>(OpClass::NumOpClasses))
+        throw SnapshotError("snapshot: buffered op with bad class");
+    op.cls = static_cast<OpClass>(cls);
+    const std::uint8_t kind = reader.u8();
+    if (kind > static_cast<std::uint8_t>(BranchKind::Return))
+        throw SnapshotError("snapshot: buffered op with bad branch kind");
+    op.brKind = static_cast<BranchKind>(kind);
+    op.taken = reader.b();
+    op.depDist1 = reader.u32();
+    op.depDist2 = reader.u32();
+    op.pc = reader.u64();
+    op.addr = reader.u64();
+    op.target = reader.u64();
+    return op;
+}
+
+void
+writeRng(SnapshotWriter &writer, const Rng &rng)
+{
+    for (const std::uint64_t word : rng.stateWords())
+        writer.u64(word);
+}
+
+void
+readRng(SnapshotReader &reader, Rng &rng)
+{
+    std::array<std::uint64_t, 4> words;
+    for (std::uint64_t &word : words)
+        word = reader.u64();
+    rng.setStateWords(words);
+}
+
+} // namespace
+
+void
+WorkloadGenerator::snapshot(SnapshotWriter &writer) const
+{
+    writer.begin("workload");
+    writer.str(profile_.name);
+    writer.u64(profile_.seed);
+    writeRng(writer, rng);
+    writeRng(writer, addrRng);
+    writer.u64(position);
+    writer.u64(delivered);
+    writer.u64(sinceLastLoad);
+    writer.u64(sinceLastColdLoad);
+
+    writer.u64(coldWindow.size());
+    for (const ColdRef &ref : coldWindow) {
+        writer.u64(ref.addr);
+        writer.i32(ref.chainId);
+    }
+    writer.u32(coldBurstRemaining);
+    writer.u64(pendingPrefetches.size());
+    for (const Addr a : pendingPrefetches)
+        writer.u64(a);
+    writer.u64(scanCursors.size());
+    for (const std::uint64_t cursor : scanCursors)
+        writer.u64(cursor);
+    writer.u32(nextScanStream);
+    writer.u64(regularCursor);
+    writer.u64(chainNext.size());
+    for (const std::uint32_t link : chainNext)
+        writer.u32(link);
+    writer.u64(chainCursor.size());
+    for (const std::uint32_t cursor : chainCursor)
+        writer.u32(cursor);
+    writer.u64(lastChainLoadPos.size());
+    for (const std::uint64_t pos : lastChainLoadPos)
+        writer.u64(pos);
+    writer.u32(nextChain);
+    writer.u64(callStack.size());
+    for (const Addr a : callStack)
+        writer.u64(a);
+
+    // Only the undelivered tail of the batch buffer is state.
+    writer.u64(opBuffer.size() - opBufferPos);
+    for (std::size_t i = opBufferPos; i < opBuffer.size(); ++i)
+        writeOp(writer, opBuffer[i]);
+    writer.end();
+}
+
+void
+WorkloadGenerator::restore(SnapshotReader &reader)
+{
+    reader.begin("workload");
+    const std::string name = reader.str();
+    if (name != profile_.name) {
+        throw SnapshotError("snapshot: workload profile mismatch ('" +
+                            name + "' vs '" + profile_.name + "')");
+    }
+    reader.expectU64(profile_.seed, "workload seed");
+    readRng(reader, rng);
+    readRng(reader, addrRng);
+    position = reader.u64();
+    delivered = reader.u64();
+    sinceLastLoad = reader.u64();
+    sinceLastColdLoad = reader.u64();
+
+    const std::uint64_t window_size = reader.u64();
+    coldWindow.clear();
+    for (std::uint64_t i = 0; i < window_size; ++i) {
+        const Addr addr = reader.u64();
+        const std::int32_t chain_id = reader.i32();
+        coldWindow.push_back({addr, chain_id});
+    }
+    coldBurstRemaining = reader.u32();
+    const std::uint64_t pending_size = reader.u64();
+    pendingPrefetches.clear();
+    for (std::uint64_t i = 0; i < pending_size; ++i)
+        pendingPrefetches.push_back(reader.u64());
+    reader.expectU64(scanCursors.size(), "scan stream count");
+    for (std::uint64_t &cursor : scanCursors)
+        cursor = reader.u64();
+    nextScanStream = reader.u32();
+    regularCursor = reader.u64();
+    reader.expectU64(chainNext.size(), "chain link count");
+    for (std::uint32_t &link : chainNext)
+        link = reader.u32();
+    reader.expectU64(chainCursor.size(), "chain count");
+    for (std::uint32_t &cursor : chainCursor)
+        cursor = reader.u32();
+    reader.expectU64(lastChainLoadPos.size(), "chain position count");
+    for (std::uint64_t &pos : lastChainLoadPos)
+        pos = reader.u64();
+    nextChain = reader.u32();
+    const std::uint64_t stack_size = reader.u64();
+    callStack.clear();
+    for (std::uint64_t i = 0; i < stack_size; ++i)
+        callStack.push_back(reader.u64());
+
+    const std::uint64_t buffered = reader.u64();
+    opBuffer.clear();
+    opBufferPos = 0;
+    for (std::uint64_t i = 0; i < buffered; ++i)
+        opBuffer.push_back(readOp(reader));
+    reader.end();
 }
 
 } // namespace vsv

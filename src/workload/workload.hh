@@ -54,6 +54,9 @@
 namespace vsv
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Fixed base addresses of the synthetic regions. */
 struct WorkloadRegions
 {
@@ -185,15 +188,32 @@ struct WorkloadProfile
 class WorkloadGenerator : public TraceSource
 {
   public:
-    explicit WorkloadGenerator(const WorkloadProfile &profile);
+    /** Micro-ops generated per buffer refill (see `batch` below). */
+    static constexpr std::uint32_t defaultBatchOps = 64;
 
-    /** Produce the next dynamic micro-op. */
+    /**
+     * @param batch ops generated per internal buffer refill. The
+     *        generator is open-loop (no feedback from the consumer),
+     *        so the delivered stream is identical for every batch
+     *        size; larger batches just amortize the virtual-call and
+     *        draw-state overhead (see bench/micro_components).
+     */
+    explicit WorkloadGenerator(const WorkloadProfile &profile,
+                               std::uint32_t batch = defaultBatchOps);
+
+    /** Deliver the next dynamic micro-op (from the batch buffer). */
     MicroOp next() override;
 
     const WorkloadProfile &profile() const { return profile_; }
 
-    /** Dynamic instructions generated so far. */
-    std::uint64_t generated() const { return position; }
+    /** Dynamic instructions delivered so far. */
+    std::uint64_t generated() const { return delivered; }
+
+    /** Serialize RNG streams, cursors, chains and buffered ops. */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore state saved by snapshot(); the profile must match. */
+    void restore(SnapshotReader &reader);
 
   private:
     /** One pre-generated cold access. */
@@ -202,6 +222,9 @@ class WorkloadGenerator : public TraceSource
         Addr addr;
         std::int32_t chainId;  ///< -1 for non-chain patterns
     };
+
+    /** Generate one op (the pre-batching next()). */
+    MicroOp generate();
 
     MicroOp makeLoad();
     MicroOp makeStore();
@@ -225,6 +248,12 @@ class WorkloadGenerator : public TraceSource
     WorkloadProfile profile_;
     Rng rng;
     Rng addrRng;   ///< separate stream so mix and addresses decouple
+
+    // Batch buffer: generate() runs `batch_` ops ahead of delivery.
+    std::uint32_t batch_;
+    std::vector<MicroOp> opBuffer;
+    std::size_t opBufferPos = 0;
+    std::uint64_t delivered = 0;
 
     std::uint64_t position = 0;
     std::uint64_t sinceLastLoad = 0;

@@ -28,6 +28,7 @@
 
 #include "common/minijson.hh"
 #include "harness/experiment.hh"
+#include "harness/warmup_cache.hh"
 
 #ifndef VSV_GOLDEN_STATS_JSON
 #error "build must define VSV_GOLDEN_STATS_JSON"
@@ -64,11 +65,13 @@ goldenGrid()
 using ScalarMap = std::map<std::string, double>;
 
 std::map<std::string, ScalarMap>
-runGrid()
+runGrid(WarmupSnapshotCache *cache = nullptr)
 {
+    SweepRunner runner(0);
+    if (cache)
+        runner.enableWarmupSnapshots(*cache);
     std::map<std::string, ScalarMap> out;
-    for (const SweepOutcome &outcome :
-         SweepRunner(0).run(goldenGrid())) {
+    for (const SweepOutcome &outcome : runner.run(goldenGrid())) {
         EXPECT_EQ(outcome.status, SweepStatus::Ok) << outcome.error;
         out[outcome.id] = outcome.scalars;
     }
@@ -167,6 +170,36 @@ TEST(GoldenStatsTest, PinnedGridMatchesGoldenFile)
         if (!current.count(id))
             ADD_FAILURE() << "golden run " << id << " was not produced";
     }
+    for (const auto &[id, scalars] : current) {
+        const auto it = golden.find(id);
+        if (it == golden.end()) {
+            ADD_FAILURE() << "run " << id
+                          << " has no golden entry; regenerate";
+            continue;
+        }
+        expectSameScalars(id, it->second, scalars);
+    }
+}
+
+TEST(GoldenStatsTest, CachedWarmupGridMatchesGoldenFile)
+{
+    // The warmup snapshot cache must hold the same golden line: a
+    // sweep that warms each benchmark once and restores the rest has
+    // to reproduce every pinned scalar exactly.
+    if (update_golden)
+        GTEST_SKIP() << "regeneration uses the uncached grid";
+
+    const std::map<std::string, ScalarMap> golden =
+        loadGolden(VSV_GOLDEN_STATS_JSON);
+    if (golden.empty())
+        return;  // loadGolden already failed the test
+
+    WarmupSnapshotCache cache;
+    const std::map<std::string, ScalarMap> current = runGrid(&cache);
+    EXPECT_EQ(cache.stats().misses, 2u);  // one warmup per benchmark
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().failures, 0u);
+
     for (const auto &[id, scalars] : current) {
         const auto it = golden.find(id);
         if (it == golden.end()) {
