@@ -137,7 +137,7 @@ Core::startMemoryAccess(RuuEntry &entry, Tick now)
     if (is_prefetch) {
         // Non-binding: complete regardless of the memory outcome; a
         // rejected prefetch is simply dropped.
-        memory.dataAccess(entry.op.addr, false, true, now, {});
+        memory.dataAccess(entry.op.addr, false, true, now, {}, coreId);
         entry.completeCycle = cycleNum + timing.latency;
         ++swPrefetchesExecuted;
         return true;
@@ -154,13 +154,15 @@ Core::startMemoryAccess(RuuEntry &entry, Tick now)
             power.recordAccess(PowerStructure::ResultBus);
             power.recordAccess(PowerStructure::RuuCam);
             power.recordAccess(PowerStructure::RegFile);
-        });
+        },
+        coreId);
 
     if (!outcome.accepted) {
         ++memRetries;
         if (trace) {
             trace->record(TraceCategory::Core, TraceEventKind::MemRetry,
-                          now, seq);
+                          now, seq, 0,
+                          static_cast<std::uint16_t>(coreId));
         }
         return false;
     }
@@ -190,13 +192,14 @@ Core::commitStage(Tick now)
             if (dcachePortsUsed >= config.dcachePorts)
                 return;
             const MemAccessOutcome outcome = memory.dataAccess(
-                entry.op.addr, true, false, now, {});
+                entry.op.addr, true, false, now, {}, coreId);
             if (!outcome.accepted) {
                 ++memRetries;
                 if (trace) {
                     trace->record(TraceCategory::Core,
                                   TraceEventKind::MemRetry, now,
-                                  entry.seq);
+                                  entry.seq, 0,
+                                  static_cast<std::uint16_t>(coreId));
                 }
                 return;  // write buffer full; retry next cycle
             }
@@ -250,7 +253,8 @@ Core::completeStage(Tick now)
                 if (trace) {
                     trace->record(TraceCategory::Core,
                                   TraceEventKind::Mispredict, now,
-                                  entry.seq);
+                                  entry.seq, 0,
+                                  static_cast<std::uint16_t>(coreId));
                 }
             }
         }
@@ -371,7 +375,8 @@ Core::fetchStage(Tick now)
         if (!accessed_icache) {
             accessed_icache = true;
             const MemAccessOutcome outcome = memory.instFetch(
-                fo.op.pc, now, [this](Tick) { icacheStall = false; });
+                fo.op.pc, now, [this](Tick) { icacheStall = false; },
+                coreId);
             if (!outcome.accepted) {
                 // L1I MSHRs full; retry the whole fetch next cycle.
                 // The op is already drawn from the trace, so keep it.

@@ -63,6 +63,13 @@ struct ExperimentArgs
     /** --snapshot-dir=DIR: persist warmup snapshots on disk so later
      *  campaigns (e.g. under --resume) skip warmup too. */
     std::string snapshotDir;
+    /** --cores=N: cores per simulated chip (default 1; max 64). */
+    std::uint32_t cores = 1;
+    /** --rail-policy=per-core|shared (multi-core runs only). */
+    RailPolicy railPolicy = RailPolicy::PerCore;
+    /** --core-benchmarks=a,b,...: per-core multiprogrammed mix; must
+     *  name exactly --cores benchmarks (empty = homogeneous). */
+    std::vector<std::string> coreBenchmarks;
 };
 
 /**

@@ -326,6 +326,13 @@ configFingerprint(const SimulationOptions &o)
       << o.core.dcachePorts << sep;
     appendBranchKnobs(s, o.branch);
     appendPrefetcherKnobs(s, o.tk, o.stride);
+    // Multi-core topology: the core count, the rail policy and the
+    // per-core benchmark mix all change results. Benchmark names
+    // cannot contain the separator, so the list cannot collide with a
+    // differently-split assignment.
+    s << o.cores << sep << static_cast<int>(o.railPolicy) << sep;
+    for (const std::string &bench : o.coreBenchmarks)
+        s << bench << sep;
     return fingerprintHash(s.str());
 }
 
@@ -344,7 +351,7 @@ warmupFingerprint(const SimulationOptions &o)
     std::ostringstream s;
     s.precision(17);
     const char sep = '|';
-    s << "warmup-v1" << sep;
+    s << "warmup-v2" << sep;
     appendProfileKnobs(s, o.profile);
     s << o.tracePath << sep << o.traceLoop << sep
       << o.warmupInstructions << sep << o.timekeeping << sep
@@ -356,6 +363,14 @@ warmupFingerprint(const SimulationOptions &o)
       << sep << o.hierarchy.bus.occupancy << sep;
     appendBranchKnobs(s, o.branch);
     appendPrefetcherKnobs(s, o.tk, o.stride);
+    // The core count and per-core benchmark mix pin every core's
+    // warmup stream (per-core profiles and seeds derive
+    // deterministically from these plus the base profile above). The
+    // rail policy is deliberately absent: warmup is functional, so
+    // both rail policies of a multi-core grid share one snapshot.
+    s << o.cores << sep;
+    for (const std::string &bench : o.coreBenchmarks)
+        s << bench << sep;
     return fingerprintHash(s.str());
 }
 
@@ -381,7 +396,27 @@ writeResultJson(std::ostream &os, const SimulationResult &r)
        << ",\"avgPowerW\":" << jsonNumber(r.avgPowerW)
        << ",\"downTransitions\":" << r.downTransitions
        << ",\"upTransitions\":" << r.upTransitions
-       << ",\"lowModeFraction\":" << jsonNumber(r.lowModeFraction)
+       << ",\"lowModeFraction\":" << jsonNumber(r.lowModeFraction);
+    // Per-core breakdown; single-core runs keep the original schema.
+    if (!r.perCore.empty()) {
+        os << ",\"perCore\":[";
+        bool first = true;
+        for (const CoreRunResult &c : r.perCore) {
+            os << (first ? "" : ",") << "{\"benchmark\":\""
+               << jsonEscape(c.benchmark) << '"'
+               << ",\"instructions\":" << c.instructions
+               << ",\"pipelineCycles\":" << c.pipelineCycles
+               << ",\"ipc\":" << jsonNumber(c.ipc)
+               << ",\"energyPj\":" << jsonNumber(c.energyPj)
+               << ",\"downTransitions\":" << c.downTransitions
+               << ",\"upTransitions\":" << c.upTransitions
+               << ",\"lowModeFraction\":"
+               << jsonNumber(c.lowModeFraction) << '}';
+            first = false;
+        }
+        os << ']';
+    }
+    os
        // Host-dependent observability; excluded from the determinism
        // contract (fastForwardedTicks/ffTickFraction are reproducible
        // for a fixed fastForward setting, wall time never is).
@@ -475,6 +510,25 @@ parseResult(const minijson::Value &r)
     out.upTransitions =
         static_cast<std::uint64_t>(numberOrZero(r.at("upTransitions")));
     out.lowModeFraction = numberOrZero(r.at("lowModeFraction"));
+    if (r.has("perCore") && r.at("perCore").isArray()) {
+        for (const minijson::Value &c : r.at("perCore").array()) {
+            CoreRunResult core;
+            core.benchmark = c.at("benchmark").str();
+            core.instructions = static_cast<std::uint64_t>(
+                numberOrZero(c.at("instructions")));
+            core.pipelineCycles = static_cast<std::uint64_t>(
+                numberOrZero(c.at("pipelineCycles")));
+            core.ipc = numberOrZero(c.at("ipc"));
+            core.energyPj = numberOrZero(c.at("energyPj"));
+            core.downTransitions = static_cast<std::uint64_t>(
+                numberOrZero(c.at("downTransitions")));
+            core.upTransitions = static_cast<std::uint64_t>(
+                numberOrZero(c.at("upTransitions")));
+            core.lowModeFraction =
+                numberOrZero(c.at("lowModeFraction"));
+            out.perCore.push_back(std::move(core));
+        }
+    }
     if (r.has("throughput") && r.at("throughput").isObject()) {
         const minijson::Value &t = r.at("throughput");
         out.wallSeconds = numberOrZero(t.at("wallSeconds"));

@@ -187,9 +187,11 @@ std::string configFingerprint(const SimulationOptions &options);
  * profiles under default names), the trace source, the warmup window,
  * which prefetcher trains, the power config, cache/bus geometry, MSHR
  * capacities (the snapshot format guards them) and the predictor/
- * prefetcher table shapes. Measurement-only knobs (measure window,
- * VSV policy, core widths, DRAM latency, fast-forward, tracing) are
- * excluded, which is what lets every VSV configuration of a benchmark
+ * prefetcher table shapes, plus the core count and per-core benchmark
+ * mix (they pin every core's warmup stream). Measurement-only knobs
+ * (measure window, VSV policy, rail policy, core widths, DRAM
+ * latency, fast-forward, tracing) are excluded, which is what lets
+ * every VSV configuration - and both rail policies - of a benchmark
  * share one warmup. Keys the WarmupSnapshotCache and is embedded in
  * snapshot headers for provenance checks.
  */

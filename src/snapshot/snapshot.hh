@@ -39,8 +39,11 @@ namespace vsv
 {
 
 /** Bump when the snapshot layout changes; readers reject other
- *  versions outright (a snapshot is a cache entry, not an archive). */
-constexpr std::uint32_t snapshotFormatVersion = 1;
+ *  versions outright (a snapshot is a cache entry, not an archive).
+ *  v2: multi-core layout - the "sim" section carries a core count and
+ *  per-core profile names, the hierarchy serializes per-core L1/MSHR
+ *  sections, and the bus appends per-requestor counters. */
+constexpr std::uint32_t snapshotFormatVersion = 2;
 
 /**
  * Any structural problem with a snapshot stream: bad magic, version

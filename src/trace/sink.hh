@@ -98,6 +98,7 @@ struct TraceEvent
     std::uint64_t b;
     std::uint16_t kind; ///< TraceEventKind
     std::uint16_t cat;  ///< bit index of the TraceCategory
+    std::uint16_t core; ///< originating core (0 in single-core runs)
 };
 
 /**
@@ -132,10 +133,15 @@ class TraceSink
         return (mask_ & static_cast<std::uint32_t>(c)) != 0;
     }
 
-    /** Append one event; no-op when the category is masked off. */
+    /**
+     * Append one event; no-op when the category is masked off.
+     * `core` tags the originating core: exports group per-core events
+     * onto per-core tracks when any nonzero core id was recorded.
+     */
     void
     record(TraceCategory c, TraceEventKind k, Tick ts,
-           std::uint64_t a = 0, std::uint64_t b = 0)
+           std::uint64_t a = 0, std::uint64_t b = 0,
+           std::uint16_t core = 0)
     {
         if (!wants(c))
             return;
@@ -143,7 +149,7 @@ class TraceSink
             addSlab();
         *cursor_++ = TraceEvent{ts, a, b,
                                 static_cast<std::uint16_t>(k),
-                                categoryIndex(c)};
+                                categoryIndex(c), core};
     }
 
     /**

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "vsv/rail_policy.hh"
 
 namespace vsv
 {
@@ -62,13 +63,62 @@ VsvController::VsvController(const VsvConfig &config, PowerModel &power)
 }
 
 void
+VsvController::setRailArbiter(RailArbiter *arbiter_, std::uint32_t core)
+{
+    arbiter = arbiter_;
+    coreId = core;
+    if (arbiter)
+        arbiter->attach(core, this);
+}
+
+void
+VsvController::requestDownTransition(Tick now)
+{
+    // Shared rail: a down trigger is a vote, not a transition. The
+    // arbiter forces the whole group down (through
+    // forceDownTransition) once every core has voted.
+    if (arbiter) {
+        arbiter->voteDown(coreId, now);
+        return;
+    }
+    startDownTransition(now);
+}
+
+void
+VsvController::forceDownTransition(Tick now)
+{
+    VSV_ASSERT(state_ == VsvState::High,
+               "group down transition outside the high-power mode");
+    startDownTransition(now);
+}
+
+void
+VsvController::forceUpTransition(Tick now)
+{
+    switch (state_) {
+      case VsvState::Low:
+        startUpTransition(now);
+        break;
+      case VsvState::DownClockDist:
+      case VsvState::RampDown:
+        // Mid-down-transition: the rail must settle at VDDL before it
+        // can swing back (the same circuit constraint that defers a
+        // returning miss); replay the group trigger on entering Low.
+        pendingSharedUp = true;
+        break;
+      default:
+        break; // already High or heading there
+    }
+}
+
+void
 VsvController::startDownTransition(Tick now)
 {
     VSV_ASSERT(state_ == VsvState::High,
                "down transition outside the high-power mode");
     if (trace && downFsm.armed()) {
         trace->record(TraceCategory::Fsm, TraceEventKind::FsmDisarm,
-                      now, traceFsmDown);
+                      now, traceFsmDown, 0, traceCore);
     }
     downFsm.disarm();
     ++downCount;
@@ -82,11 +132,15 @@ VsvController::startUpTransition(Tick now)
                "up transition outside the low-power mode");
     if (trace && upFsm.armed()) {
         trace->record(TraceCategory::Fsm, TraceEventKind::FsmDisarm,
-                      now, traceFsmUp);
+                      now, traceFsmUp, 0, traceCore);
     }
     upFsm.disarm();
     ++upCount;
     enterState(VsvState::UpClockDist, now);
+    // A shared rail rises for everyone: drag the rest of the group up
+    // (the arbiter absorbs the echo from the cores it forces).
+    if (arbiter)
+        arbiter->noteUpTransition(coreId, now);
 }
 
 void
@@ -95,7 +149,8 @@ VsvController::enterState(VsvState next, Tick now)
     state_ = next;
     if (trace) {
         trace->record(TraceCategory::Mode, TraceEventKind::ModeEnter,
-                      now, trace->internString(vsvStateName(next)));
+                      now, trace->internString(vsvStateName(next)), 0,
+                      traceCore);
         // The pipeline sees full-speed edges until the divided clock
         // reaches the tree's leaves, so the effective divider changes
         // on RampDown entry (down) and High entry (up).
@@ -105,7 +160,8 @@ VsvController::enterState(VsvState next, Tick now)
                 : config.clockDivider;
         if (divider != tracedDivider) {
             trace->record(TraceCategory::Clock,
-                          TraceEventKind::ClockDivider, now, divider);
+                          TraceEventKind::ClockDivider, now, divider,
+                          0, traceCore);
             tracedDivider = divider;
         }
     }
@@ -118,7 +174,8 @@ VsvController::enterState(VsvState next, Tick now)
         break;
       case VsvState::RampDown:
         rail.rampTo(config.vddLow);
-        power.addRampEnergy(now);
+        if (chargeRamp)
+            power.addRampEnergy(now);
         stateEnd = now + rampTicks;
         nextEdge = now;  // first half-speed cycle starts immediately
         break;
@@ -131,7 +188,8 @@ VsvController::enterState(VsvState next, Tick now)
         break;
       case VsvState::RampUp:
         rail.rampTo(config.vddHigh);
-        power.addRampEnergy(now);
+        if (chargeRamp)
+            power.addRampEnergy(now);
         // The full-speed clock-tree distribution overlaps the last
         // 2 ns of the ramp (Section 3.4), so no extra time after it.
         stateEnd = now + rampTicks;
@@ -148,6 +206,15 @@ VsvController::enterState(VsvState next, Tick now)
 void
 VsvController::settleIntoLow(Tick now)
 {
+    if (pendingSharedUp) {
+        // The rail group was pulled up while this core was still
+        // heading down; honor the group decision the moment the rail
+        // settles at VDDL. Any return replay is subsumed.
+        pendingSharedUp = false;
+        pendingReturnReplay = false;
+        startUpTransition(now);
+        return;
+    }
     if (!pendingReturnReplay)
         return;
     // One or more demand misses returned while the down transition
@@ -181,12 +248,12 @@ VsvController::settleIntoHigh(Tick now)
     if (outstandingDemand == 0 || !config.enabled)
         return;
     if (config.down.threshold == 0) {
-        startDownTransition(now);
+        requestDownTransition(now);
     } else if (!downFsm.armed()) {
         downFsm.arm();
         if (trace) {
             trace->record(TraceCategory::Fsm, TraceEventKind::FsmArm,
-                          now, traceFsmDown);
+                          now, traceFsmDown, 0, traceCore);
         }
     }
 }
@@ -202,14 +269,15 @@ VsvController::armUpFsm(Tick now)
         return;
     if (trace) {
         trace->record(TraceCategory::Fsm, TraceEventKind::FsmArm, now,
-                      traceFsmUp);
+                      traceFsmUp, 0, traceCore);
     }
     if (upFsm.arm()) {
         // threshold == 0: fired on arm, with zero observations.
         if (trace) {
             trace->record(TraceCategory::Fsm, TraceEventKind::FsmObserve,
                           now, traceFsmUp,
-                          observePayload(0, MonitorOutcome::Fired));
+                          observePayload(0, MonitorOutcome::Fired),
+                          traceCore);
         }
         startUpTransition(now);
     }
@@ -252,7 +320,8 @@ VsvController::beginTick(Tick now)
         if (vdd != tracedVdd) {
             trace->record(TraceCategory::Power,
                           TraceEventKind::VddChange, now,
-                          std::bit_cast<std::uint64_t>(vdd));
+                          std::bit_cast<std::uint64_t>(vdd), 0,
+                          traceCore);
             tracedVdd = vdd;
         }
         if (tracedDivider == 0) {
@@ -263,10 +332,11 @@ VsvController::beginTick(Tick now)
             tracedDivider = lowPowerPath() ? config.clockDivider : 1;
             trace->record(TraceCategory::Clock,
                           TraceEventKind::ClockDivider, now,
-                          tracedDivider);
+                          tracedDivider, 0, traceCore);
             trace->record(TraceCategory::Mode,
                           TraceEventKind::ModeEnter, now,
-                          trace->internString(vsvStateName(state_)));
+                          trace->internString(vsvStateName(state_)),
+                          0, traceCore);
         }
     }
 
@@ -284,7 +354,8 @@ VsvController::beginTick(Tick now)
 }
 
 VsvController::IdleAdvance
-VsvController::advanceIdle(Tick now, Tick max_ticks, Tick max_edges)
+VsvController::planIdleAdvance(Tick now, Tick max_ticks,
+                               Tick max_edges) const
 {
     if (!inSteadyState() || max_ticks == 0)
         return {};
@@ -307,8 +378,6 @@ VsvController::advanceIdle(Tick now, Tick max_ticks, Tick max_edges)
 
     Tick ticks = 0;
     std::uint64_t edges = 0;
-    Tick first_edge = now; ///< tick of the first skipped edge
-    Tick edge_step = 1;    ///< tick distance between skipped edges
     if (state_ == VsvState::High) {
         // Full-speed clock: every tick is an edge.
         ticks = std::min(max_ticks, edge_budget);
@@ -322,19 +391,33 @@ VsvController::advanceIdle(Tick now, Tick max_ticks, Tick max_edges)
         if (edge_budget < (maxTick - to_first) / d)
             span = to_first + edge_budget * d;
         ticks = std::min(max_ticks, span);
-        if (ticks > to_first) {
+        if (ticks > to_first)
             edges = 1 + (ticks - to_first - 1) / d;
-            nextEdge = now + to_first + edges * d;
-        }
+    }
+    return {ticks, edges};
+}
+
+VsvController::IdleAdvance
+VsvController::advanceIdle(Tick now, Tick max_ticks, Tick max_edges)
+{
+    const IdleAdvance plan = planIdleAdvance(now, max_ticks, max_edges);
+    if (plan.ticks == 0)
+        return {};
+
+    Tick first_edge = now; ///< tick of the first skipped edge
+    Tick edge_step = 1;    ///< tick distance between skipped edges
+    if (state_ == VsvState::Low) {
+        const Tick d = config.clockDivider;
+        const Tick to_first = nextEdge > now ? nextEdge - now : 0;
+        if (plan.edges > 0)
+            nextEdge = now + to_first + plan.edges * d;
         first_edge = now + to_first;
         edge_step = d;
     }
-    if (ticks == 0)
-        return {};
 
     stateTicks[static_cast<std::size_t>(state_)] +=
-        static_cast<double>(ticks);
-    if (config.enabled && edges > 0) {
+        static_cast<double>(plan.ticks);
+    if (config.enabled && plan.edges > 0) {
         const bool high = state_ == VsvState::High;
         const IssueMonitorFsm &fsm = high ? downFsm : upFsm;
         if (trace && fsm.armed()) {
@@ -344,20 +427,21 @@ VsvController::advanceIdle(Tick now, Tick max_ticks, Tick max_edges)
             // synthesized outcome is Watching (DESIGN.md 5e).
             const std::uint64_t which =
                 high ? traceFsmDown : traceFsmUp;
-            for (std::uint64_t i = 0; i < edges; ++i) {
+            for (std::uint64_t i = 0; i < plan.edges; ++i) {
                 trace->record(
                     TraceCategory::Fsm, TraceEventKind::FsmObserve,
                     first_edge + i * edge_step, which,
-                    observePayload(0, MonitorOutcome::Watching));
+                    observePayload(0, MonitorOutcome::Watching),
+                    traceCore);
             }
         }
         if (high)
-            downFsm.observeIdleRun(edges);
+            downFsm.observeIdleRun(plan.edges);
         else
-            upFsm.observeIdleRun(edges);
+            upFsm.observeIdleRun(plan.edges);
     }
-    lastTick = now + ticks - 1;
-    return {ticks, edges};
+    lastTick = now + plan.ticks - 1;
+    return plan;
 }
 
 void
@@ -371,16 +455,16 @@ VsvController::observeIssueRate(std::uint32_t issued)
         if (trace) {
             trace->record(TraceCategory::Fsm, TraceEventKind::FsmObserve,
                           lastTick, traceFsmDown,
-                          observePayload(issued, outcome));
+                          observePayload(issued, outcome), traceCore);
         }
         if (outcome == MonitorOutcome::Fired)
-            startDownTransition(lastTick);
+            requestDownTransition(lastTick);
     } else if (state_ == VsvState::Low && upFsm.armed()) {
         const MonitorOutcome outcome = upFsm.observe(issued);
         if (trace) {
             trace->record(TraceCategory::Fsm, TraceEventKind::FsmObserve,
                           lastTick, traceFsmUp,
-                          observePayload(issued, outcome));
+                          observePayload(issued, outcome), traceCore);
         }
         if (outcome == MonitorOutcome::Fired)
             startUpTransition(lastTick);
@@ -402,12 +486,12 @@ VsvController::demandL2MissDetected(Tick when, std::uint32_t outstanding)
     if (config.down.threshold == 0) {
         // No down-FSM: transition on every demand miss (the paper's
         // "without FSMs" configuration).
-        startDownTransition(when);
+        requestDownTransition(when);
     } else if (!downFsm.armed()) {
         downFsm.arm();
         if (trace) {
             trace->record(TraceCategory::Fsm, TraceEventKind::FsmArm,
-                          when, traceFsmDown);
+                          when, traceFsmDown, 0, traceCore);
         }
     }
 }
@@ -448,6 +532,11 @@ VsvController::demandL2MissReturned(Tick when, std::uint32_t outstanding)
         break;
 
       default:
+        // A shared-rail vote is only worth honoring while the demand
+        // miss behind it is still outstanding; once it drains in High
+        // the core no longer wants the rail down.
+        if (arbiter && outstanding == 0 && state_ == VsvState::High)
+            arbiter->retractDownVote(coreId);
         break;
     }
 }

@@ -1,0 +1,106 @@
+#include "rail_policy.hh"
+
+#include "common/logging.hh"
+#include "vsv/controller.hh"
+
+namespace vsv
+{
+
+std::string_view
+railPolicyName(RailPolicy policy)
+{
+    switch (policy) {
+      case RailPolicy::PerCore:    return "per-core";
+      case RailPolicy::SharedVote: return "shared";
+    }
+    panic("bad rail policy");
+}
+
+RailPolicy
+parseRailPolicy(const std::string &name)
+{
+    if (name == "per-core")
+        return RailPolicy::PerCore;
+    if (name == "shared")
+        return RailPolicy::SharedVote;
+    fatal("unknown rail policy '" + name +
+          "' (expected per-core or shared)");
+}
+
+RailArbiter::RailArbiter(std::uint32_t cores)
+    : ctrls(cores, nullptr), willing_(cores, false)
+{
+    VSV_ASSERT(cores >= 1, "rail arbiter needs at least one core");
+}
+
+void
+RailArbiter::attach(std::uint32_t core, VsvController *ctrl)
+{
+    VSV_ASSERT(core < ctrls.size(), "core id out of range");
+    VSV_ASSERT(ctrls[core] == nullptr, "core attached twice");
+    ctrls[core] = ctrl;
+}
+
+bool
+RailArbiter::voteDown(std::uint32_t core, Tick now)
+{
+    VSV_ASSERT(core < ctrls.size(), "core id out of range");
+    if (!willing_[core]) {
+        willing_[core] = true;
+        ++votes;
+    }
+    for (bool w : willing_) {
+        if (!w)
+            return false;
+    }
+    // Unanimous: the whole group goes down at the same tick. Clear
+    // the flags first so the forced transitions observe a fresh vote.
+    for (std::size_t c = 0; c < willing_.size(); ++c)
+        willing_[c] = false;
+    for (VsvController *ctrl : ctrls)
+        ctrl->forceDownTransition(now);
+    ++groupDowns;
+    return true;
+}
+
+void
+RailArbiter::retractDownVote(std::uint32_t core)
+{
+    VSV_ASSERT(core < ctrls.size(), "core id out of range");
+    if (!willing_[core])
+        return;
+    willing_[core] = false;
+    ++retractions;
+}
+
+void
+RailArbiter::noteUpTransition(std::uint32_t core, Tick now)
+{
+    VSV_ASSERT(core < ctrls.size(), "core id out of range");
+    willing_[core] = false;
+    if (inGroupUp)
+        return; // a forced controller echoing the group trigger
+    inGroupUp = true;
+    for (std::size_t c = 0; c < ctrls.size(); ++c) {
+        if (c != core)
+            ctrls[c]->forceUpTransition(now);
+    }
+    inGroupUp = false;
+    ++groupUps;
+}
+
+void
+RailArbiter::regStats(StatRegistry &registry,
+                      const std::string &prefix) const
+{
+    registry.registerScalar(prefix + ".votes", &votes,
+                            "down votes cast by stalled cores");
+    registry.registerScalar(prefix + ".retractions", &retractions,
+                            "down votes withdrawn before completion");
+    registry.registerScalar(prefix + ".groupDowns", &groupDowns,
+                            "unanimous group down transitions");
+    registry.registerScalar(prefix + ".groupUps", &groupUps,
+                            "group up transitions triggered");
+}
+
+} // namespace vsv

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Supply-rail topology policies for multi-core VSV.
+ *
+ * With one core the controller owns its rail outright. With N cores
+ * two wirings are supported (sweepable via --rail-policy):
+ *
+ *   PerCore     each core has an independent VDD rail; its controller
+ *               transitions on its own FSM decisions, exactly as in
+ *               the single-core paper configuration.
+ *   SharedVote  one physical rail feeds every core. A core that would
+ *               have started a down transition instead casts a sticky
+ *               "willing to go low" vote with the RailArbiter; the
+ *               group transition starts only when every core has
+ *               voted (the all-cores-stalled condition). Any core's
+ *               up trigger raises the whole group, and a core whose
+ *               outstanding demand drains while still High retracts
+ *               its vote.
+ *
+ * The arbiter is a pure decision layer: it never advances time and
+ * never touches the PowerModel. Controllers stay the single source of
+ * truth for per-core state machines; the arbiter only converts their
+ * local triggers into group transitions via forceDownTransition() /
+ * forceUpTransition().
+ */
+
+#ifndef VSV_VSV_RAIL_POLICY_HH
+#define VSV_VSV_RAIL_POLICY_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace vsv
+{
+
+class VsvController;
+
+/** How per-core controllers map onto physical supply rails. */
+enum class RailPolicy : std::uint8_t
+{
+    PerCore,    ///< one independent rail per core
+    SharedVote, ///< one shared rail, all-cores-stalled down vote
+};
+
+/** Canonical flag spelling ("per-core" / "shared"). */
+std::string_view railPolicyName(RailPolicy policy);
+
+/** Parse a --rail-policy value; fatal on unknown names. */
+RailPolicy parseRailPolicy(const std::string &name);
+
+/**
+ * Down-vote aggregator for RailPolicy::SharedVote.
+ *
+ * Votes are sticky: a core that fires its down trigger while other
+ * cores are still busy stays willing until either the group
+ * transition happens or its own outstanding demand drains to zero
+ * (retractDownVote). When the last core votes, every controller is
+ * forced down at the same tick, so the group enters and leaves the
+ * transition phases in lockstep. Symmetrically, the first core to
+ * start an up transition drags every other core up through
+ * forceUpTransition(); the recursion guard keeps the resulting
+ * controller-to-arbiter callbacks from echoing.
+ */
+class RailArbiter
+{
+  public:
+    explicit RailArbiter(std::uint32_t cores);
+
+    /** Wire one controller; must be called once per core id. */
+    void attach(std::uint32_t core, VsvController *ctrl);
+
+    /**
+     * Core `core` wants to transition down at `now`. Returns true
+     * when this vote completed the group and the down transition was
+     * forced on every core (including the caller).
+     */
+    bool voteDown(std::uint32_t core, Tick now);
+
+    /** Core `core` no longer qualifies (demand drained while High). */
+    void retractDownVote(std::uint32_t core);
+
+    /**
+     * Core `core` started an up transition at `now`: force the rest
+     * of the group up with it. Safe to call re-entrantly from the
+     * forced controllers; the inner calls are absorbed.
+     */
+    void noteUpTransition(std::uint32_t core, Tick now);
+
+    bool willing(std::uint32_t core) const { return willing_[core]; }
+
+    void regStats(StatRegistry &registry,
+                  const std::string &prefix) const;
+
+  private:
+    std::vector<VsvController *> ctrls;
+    std::vector<bool> willing_;
+    bool inGroupUp = false;
+
+    Scalar votes;       ///< down votes cast (incl. re-votes after retraction)
+    Scalar retractions; ///< votes withdrawn before the group completed
+    Scalar groupDowns;  ///< completed all-cores down transitions
+    Scalar groupUps;    ///< group up transitions triggered
+};
+
+} // namespace vsv
+
+#endif // VSV_VSV_RAIL_POLICY_HH

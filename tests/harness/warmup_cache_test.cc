@@ -263,5 +263,31 @@ TEST(WarmupFingerprintTest, WarmupAffectingKnobsSplitTheFingerprint)
     EXPECT_NE(warmupFingerprint(traced), fp);
 }
 
+TEST(WarmupFingerprintTest, CoreTopologySplitsTheFingerprints)
+{
+    // A 2-core run warms two streams into a shared L2; letting it
+    // collide with the single-core fingerprint would restore the wrong
+    // cache contents (and resume the wrong results).
+    const SimulationOptions base = makeOptions("mcf", false, 5000, 3000);
+
+    SimulationOptions two = base;
+    two.cores = 2;
+    EXPECT_NE(warmupFingerprint(two), warmupFingerprint(base));
+    EXPECT_NE(configFingerprint(two), configFingerprint(base));
+
+    // The rail policy is measurement-only: both policies of a 2-core
+    // run share one warmup snapshot but must not share results.
+    SimulationOptions shared_rail = two;
+    shared_rail.railPolicy = RailPolicy::SharedVote;
+    EXPECT_EQ(warmupFingerprint(shared_rail), warmupFingerprint(two));
+    EXPECT_NE(configFingerprint(shared_rail), configFingerprint(two));
+
+    // A multiprogrammed mix changes every core's warmup stream.
+    SimulationOptions mix = two;
+    mix.coreBenchmarks = {"mcf", "art"};
+    EXPECT_NE(warmupFingerprint(mix), warmupFingerprint(two));
+    EXPECT_NE(configFingerprint(mix), configFingerprint(two));
+}
+
 } // namespace
 } // namespace vsv

@@ -59,6 +59,19 @@ goldenGrid()
         fsm.vsv = fsmVsvConfig();
         jobs.push_back({std::string(bench) + "/fsm", fsm});
     }
+    // One pinned multi-core point per rail policy: 2 cores of mcf
+    // sharing the L2 under the full VSV-FSM path, so per-core stats,
+    // bus arbitration and the rail policies all sit under the gate.
+    for (const RailPolicy policy :
+         {RailPolicy::PerCore, RailPolicy::SharedVote}) {
+        SimulationOptions two = makeOptions("mcf", false, 20000, 5000);
+        two.cores = 2;
+        two.railPolicy = policy;
+        two.vsv = fsmVsvConfig();
+        jobs.push_back({std::string("mcf-2c/") +
+                            std::string(railPolicyName(policy)) + "/fsm",
+                        two});
+    }
     return jobs;
 }
 
@@ -196,8 +209,10 @@ TEST(GoldenStatsTest, CachedWarmupGridMatchesGoldenFile)
 
     WarmupSnapshotCache cache;
     const std::map<std::string, ScalarMap> current = runGrid(&cache);
-    EXPECT_EQ(cache.stats().misses, 2u);  // one warmup per benchmark
-    EXPECT_EQ(cache.stats().hits, 2u);
+    // One warmup each for mcf, ammp and 2-core mcf; both rail
+    // policies of the 2-core point restore the same snapshot.
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().hits, 3u);
     EXPECT_EQ(cache.stats().failures, 0u);
 
     for (const auto &[id, scalars] : current) {

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tier-1 multi-core smoke gate (the `multicore_smoke` ctest): a short
+ * 2-core run under each rail policy must complete, commit the target
+ * window on both cores, and actually exercise the shared rail's group
+ * mechanics. Deep equivalence checks live in multicore_test.cc; this
+ * binary is the fast always-on canary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(MulticoreSmoke, BothRailPoliciesCompleteATwoCoreRun)
+{
+    for (const RailPolicy policy :
+         {RailPolicy::PerCore, RailPolicy::SharedVote}) {
+        SimulationOptions options =
+            makeOptions("mcf", false, 8000, 3000);
+        options.cores = 2;
+        options.railPolicy = policy;
+        options.vsv = fsmVsvConfig();
+
+        const SweepOutcome out = SweepRunner::runOneIsolated(
+            {std::string(railPolicyName(policy)), options});
+        ASSERT_EQ(out.status, SweepStatus::Ok)
+            << railPolicyName(policy) << ": " << out.error;
+
+        ASSERT_EQ(out.result.perCore.size(), 2u);
+        for (const CoreRunResult &pc : out.result.perCore) {
+            EXPECT_GE(pc.instructions, 8000u)
+                << railPolicyName(policy);
+        }
+        EXPECT_GT(out.result.downTransitions, 0u)
+            << railPolicyName(policy);
+        if (policy == RailPolicy::SharedVote) {
+            EXPECT_GT(out.scalars.at("rail.groupDowns"), 0.0);
+        }
+    }
+}
+
+} // namespace
+} // namespace vsv

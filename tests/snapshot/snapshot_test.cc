@@ -238,6 +238,79 @@ TEST(SnapshotFormatTest, ExpectU32NamesTheQuantity)
     }
 }
 
+TEST(SnapshotFormatTest, PreMulticoreSnapshotIsRejected)
+{
+    // v1 snapshots predate the multi-core layout (no core count, no
+    // per-core sections); reading one as v2 would misalign every
+    // section, so the reader must refuse at the header.
+    ASSERT_GE(snapshotFormatVersion, 2u);
+    std::string bytes = validSnapshot();
+    bytes[4] = 1;  // version field, little-endian low byte
+    std::istringstream is(bytes);
+    try {
+        SnapshotReader reader(is);
+        FAIL() << "pre-multicore snapshot accepted";
+    } catch (const SnapshotError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SnapshotRestoreTest, CoreCountSkewIsAFatal)
+{
+    SimulationOptions options = makeOptions("mcf", false, 5000, 3000);
+    options.cores = 2;
+    Simulator warmed(options);
+    warmed.warmup();
+    std::ostringstream os;
+    warmed.snapshotTo(os, "fp");
+
+    // A 2-core snapshot restored into a 1-core simulator (and vice
+    // versa) must refuse outright, not silently drop a core's state.
+    SimulationOptions fewer = options;
+    fewer.cores = 1;
+    Simulator fresh(fewer);
+    std::istringstream is(os.str());
+    ScopedThrowingFatal guard;
+    try {
+        fresh.restoreFrom(is, "fp");
+        FAIL() << "core-count skew restored";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("core count"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SnapshotRestoreTest, PerCoreSectionCorruptionIsAFatal)
+{
+    SimulationOptions options = makeOptions("mcf", false, 5000, 3000);
+    options.cores = 2;
+    Simulator warmed(options);
+    warmed.warmup();
+    std::ostringstream os;
+    warmed.snapshotTo(os, "fp");
+    std::string bytes = os.str();
+
+    // Flip one bit in the trailing per-core region (core 1's sections
+    // land after core 0's); the section checksums must catch it.
+    const std::size_t at = bytes.size() - 40;
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x01);
+
+    Simulator fresh(options);
+    std::istringstream is(bytes);
+    ScopedThrowingFatal guard;
+    try {
+        fresh.restoreFrom(is, "fp");
+        FAIL() << "corrupt per-core section restored";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("warmup snapshot unusable"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(SnapshotRestoreTest, GarbageStreamIsAFatalWithClearMessage)
 {
     SimulationOptions options = makeOptions("gzip", false, 2000, 1000);
