@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "branch/predictor.hh"
 #include "cache/cache.hh"
 #include "common/eventq.hh"
@@ -14,10 +18,80 @@
 #include "prefetch/timekeeping.hh"
 #include "workload/workload.hh"
 
+// Bench-local global-allocation tally so benchmarks can report heap
+// allocations per iteration: the event slab pool and the lockstep
+// replica arenas are supposed to amortize to zero (respectively
+// setup-only) heap traffic, and a counter makes a regression visible
+// in the bench output instead of only in a profiler.
+//
+// GCC's -Wmismatched-new-delete misfires on replaced global
+// allocators (it pairs the inlined malloc in our operator new with
+// the free in our operator delete and flags the perfectly matched
+// pair), so silence it for this file.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+namespace
+{
+std::atomic<std::uint64_t> g_benchAllocs{0};
+
+std::uint64_t
+benchAllocCount()
+{
+    return g_benchAllocs.load(std::memory_order_relaxed);
+}
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    g_benchAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
 namespace vsv
 {
 namespace
 {
+
+/** allocations/iteration over the timed loop, averaged by gbench. */
+benchmark::Counter
+allocsPerIter(std::uint64_t since)
+{
+    return benchmark::Counter(
+        static_cast<double>(benchAllocCount() - since),
+        benchmark::Counter::kAvgIterations);
+}
 
 void
 BM_RngNext(benchmark::State &state)
@@ -86,10 +160,12 @@ BM_EventPoolBurstChurn(benchmark::State &state)
 {
     // Slab-pool reuse under bursts that span both wheel levels and
     // the overflow heap: the steady-state cost of schedule+fire when
-    // every node comes from the free list.
+    // every node comes from the free list. allocs/iter must sit at
+    // ~0 - a nonzero reading means pool nodes leak back to the heap.
     EventQueue q;
     Tick now = 0;
     std::uint64_t sink = 0;
+    const std::uint64_t allocs0 = benchAllocCount();
     for (auto _ : state) {
         for (int i = 0; i < 16; ++i)
             q.schedule(now + 1 + (i * 37) % 500,
@@ -98,6 +174,7 @@ BM_EventPoolBurstChurn(benchmark::State &state)
         now += 100;
         q.serviceUntil(now);
     }
+    state.counters["allocs/iter"] = allocsPerIter(allocs0);
     q.serviceUntil(now + 80000);
     benchmark::DoNotOptimize(sink);
 }
@@ -153,6 +230,38 @@ BM_VsvSimulatorThroughput(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_VsvSimulatorThroughput)->Arg(20000)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_LockstepReplicaStep(benchmark::State &state)
+{
+    // Lockstep batch throughput: one front-end stepping range(0)
+    // replica accountants alongside the leader. Items processed
+    // counts every config's instructions, so the per-item rate shows
+    // how cheap an extra replica is next to a full re-simulation.
+    // The replica arenas reserve exactly once at materialization;
+    // allocs/iter is the whole build+warmup+run cost and must grow
+    // only O(replicas) per iteration, never O(replicas x ticks).
+    const auto replicas = static_cast<std::size_t>(state.range(0));
+    constexpr std::uint64_t instructions = 20000;
+    const std::uint64_t allocs0 = benchAllocCount();
+    for (auto _ : state) {
+        SimulationOptions options;
+        options.profile = spec2kProfile("mcf");
+        options.warmupInstructions = 5000;
+        options.measureInstructions = instructions;
+        options.vsv.enabled = true;
+        Simulator sim(options);
+        for (std::size_t r = 0; r < replicas; ++r)
+            sim.addReplica(options.power, options.vsv);
+        benchmark::DoNotOptimize(sim.run().ticks);
+    }
+    state.counters["allocs/iter"] = allocsPerIter(allocs0);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * instructions *
+                                  (replicas + 1)));
+}
+BENCHMARK(BM_LockstepReplicaStep)->Arg(0)->Arg(7)->Arg(15)->Unit(
     benchmark::kMillisecond);
 
 void

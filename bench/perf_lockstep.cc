@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Lockstep batch-executor throughput baseline: for each benchmark, a
+ * power-characterization grid (the FSM configuration swept over
+ * energy-accounting knobs, so every run shares one structural
+ * fingerprint) executed serially with the warmup snapshot cache - the
+ * previous fastest path, one measured window per config - and then as
+ * one lockstep batch: one warmup, one front-end pass, M replica
+ * accountants. Prints a comparison table and writes
+ * BENCH_lockstep.json (wall seconds per sweep, per-benchmark and
+ * end-to-end speedups, batching counters).
+ *
+ * The exit status is nonzero if any serial/lockstep run pair
+ * disagrees on the simulated statistics - batching must be invisible
+ * in every number except wall time - or if the grid unexpectedly
+ * fails to form a single batch per benchmark.
+ *
+ * Flags: --instructions=N --warmup=N --benchmarks=a,b,c --seed=S
+ *        --grid=M (configs per benchmark, default 8)
+ *        --out=path (default BENCH_lockstep.json)
+ *        --repeat=N (time each sweep N times; tables and speedups use
+ *        the minimum wall time, the JSON also records the median;
+ *        identical checks come from single runs - repeats are
+ *        bit-identical by the determinism contract)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "harness/lockstep.hh"
+#include "harness/sweep.hh"
+#include "harness/warmup_cache.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+struct BenchResult
+{
+    std::string benchmark;
+    std::vector<SweepOutcome> serial;
+    std::vector<SweepOutcome> lockstep;
+    double serialSeconds = 0.0;
+    double lockstepSeconds = 0.0;
+    double medianSerialSeconds = 0.0;
+    double medianLockstepSeconds = 0.0;
+    LockstepStats stats;
+    bool identical = false;
+    double speedup = 0.0;
+};
+
+/**
+ * The M-run grid: the paper's FSM configuration swept over
+ * accounting-only knobs (gating efficiency, idle and leakage
+ * fractions, ramp energy), cycling through distinct values so every
+ * config is unique while the structural fingerprint - and therefore
+ * the micro-op stream and the whole front-end - stays shared.
+ */
+std::vector<SweepJob>
+gridFor(const ExperimentArgs &args, const std::string &bench,
+        unsigned grid)
+{
+    SimulationOptions base = makeOptions(args, bench, false);
+    base.vsv = fsmVsvConfig();
+    applyRunSeed(base, args.seed);
+
+    std::vector<SweepJob> jobs;
+    for (unsigned i = 0; i < grid; ++i) {
+        SimulationOptions options = base;
+        options.power.gatingEfficiency = 0.92 - 0.04 * (i % 8);
+        options.power.idleFraction = 0.10 + 0.01 * (i / 8 % 8);
+        options.power.leakageFraction = 0.01 * (i / 64 % 8);
+        options.power.rampEnergyPj = 66000.0 + 500.0 * (i / 512);
+        jobs.push_back({bench + "/pw-" + std::to_string(i), options});
+    }
+    return jobs;
+}
+
+/** One single-threaded sweep; M = 0 is the serial (cached) side. */
+std::vector<SweepOutcome>
+sweep(const std::vector<SweepJob> &jobs, unsigned lockstep_max,
+      LockstepStats &stats, double &wall_seconds)
+{
+    SweepRunner runner(1);
+    WarmupSnapshotCache cache;
+    if (lockstep_max < 2)
+        runner.enableWarmupSnapshots(cache);
+    else
+        runner.enableLockstep(lockstep_max);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<SweepOutcome> outcomes = runner.run(jobs);
+    wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    stats = runner.lockstepStats();
+    return outcomes;
+}
+
+bool
+sameStats(const std::vector<SweepOutcome> &a,
+          const std::vector<SweepOutcome> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].scalars != b[i].scalars ||
+            a[i].statsJson != b[i].statsJson ||
+            a[i].result.ticks != b[i].result.ticks ||
+            a[i].result.energyPj != b[i].result.energyPj) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 100000, 0, {"mcf", "ammp", "art"});
+    const std::string out_path =
+        args.config.getString("out", "BENCH_lockstep.json");
+    const unsigned grid = static_cast<unsigned>(
+        std::max<std::uint64_t>(2, args.config.getUInt("grid", 8)));
+    const unsigned repeat = static_cast<unsigned>(
+        std::max<std::uint64_t>(1, args.config.getUInt("repeat", 1)));
+    args.config.rejectUnknown("perf_lockstep");
+
+    std::vector<BenchResult> results;
+    double wall_serial = 0.0;
+    double wall_lockstep = 0.0;
+    bool all_identical = true;
+
+    for (const auto &bench : args.benchmarks) {
+        const std::vector<SweepJob> jobs = gridFor(args, bench, grid);
+
+        // The whole point is one front-end for the grid; if a knob
+        // ever leaks into the structural fingerprint, fail loudly
+        // rather than benchmark the wrong thing.
+        const std::string fp = structuralFingerprint(jobs[0].options);
+        for (const SweepJob &job : jobs) {
+            if (structuralFingerprint(job.options) != fp) {
+                warn(job.id +
+                     ": unexpected structural fingerprint split");
+                all_identical = false;
+            }
+        }
+
+        BenchResult r;
+        r.benchmark = bench;
+
+        // Serial: the prior fastest path - snapshot-cached warmup,
+        // one full measured window per config.
+        std::vector<double> serial_walls;
+        r.serialSeconds = 0.0;
+        for (unsigned i = 0; i < repeat; ++i) {
+            LockstepStats ignored;
+            double wall = 0.0;
+            auto outcomes = sweep(jobs, 0, ignored, wall);
+            serial_walls.push_back(wall);
+            if (i == 0 || wall < r.serialSeconds) {
+                r.serialSeconds = wall;
+                r.serial = std::move(outcomes);
+            }
+        }
+
+        // Lockstep: one warmup + one front-end pass for the batch.
+        std::vector<double> lockstep_walls;
+        r.lockstepSeconds = 0.0;
+        for (unsigned i = 0; i < repeat; ++i) {
+            LockstepStats stats;
+            double wall = 0.0;
+            auto outcomes = sweep(jobs, grid, stats, wall);
+            lockstep_walls.push_back(wall);
+            if (i == 0 || wall < r.lockstepSeconds) {
+                r.lockstepSeconds = wall;
+                r.lockstep = std::move(outcomes);
+                r.stats = stats;
+            }
+        }
+
+        r.medianSerialSeconds =
+            summarizeRepeats(serial_walls).medianSeconds;
+        r.medianLockstepSeconds =
+            summarizeRepeats(lockstep_walls).medianSeconds;
+
+        // The optimization contract: same stats, bit for bit.
+        r.identical = sameStats(r.serial, r.lockstep);
+        if (!r.identical) {
+            warn(bench + ": lockstep changed simulated results");
+            all_identical = false;
+        }
+        if (r.stats.batches != 1 || r.stats.batchedRuns != jobs.size() ||
+            r.stats.fallbacks != 0) {
+            warn(bench + ": expected one batch of " +
+                 std::to_string(jobs.size()) + " runs, got " +
+                 std::to_string(r.stats.batches) + " batch(es), " +
+                 std::to_string(r.stats.batchedRuns) + " batched, " +
+                 std::to_string(r.stats.fallbacks) + " fallback(s)");
+            all_identical = false;
+        }
+
+        r.speedup = r.lockstepSeconds > 0.0
+                        ? r.serialSeconds / r.lockstepSeconds
+                        : 0.0;
+        wall_serial += r.serialSeconds;
+        wall_lockstep += r.lockstepSeconds;
+        results.push_back(std::move(r));
+    }
+
+    const double overall =
+        wall_lockstep > 0.0 ? wall_serial / wall_lockstep : 0.0;
+
+    TextTable table({"benchmark", "serial s", "lockstep s", "batches",
+                     "replicas", "speedup"});
+    for (const auto &r : results) {
+        table.addRow({r.benchmark, TextTable::num(r.serialSeconds),
+                      TextTable::num(r.lockstepSeconds),
+                      std::to_string(r.stats.batches),
+                      std::to_string(r.stats.batchedRuns),
+                      TextTable::num(r.speedup, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "end-to-end speedup: " << TextTable::num(overall, 2)
+              << "x (" << TextTable::num(wall_serial, 2) << "s -> "
+              << TextTable::num(wall_lockstep, 2) << "s)\n";
+
+    std::ofstream os(out_path);
+    if (!os)
+        fatal("cannot open --out file: " + out_path);
+    os << std::setprecision(6);
+    os << "{\n"
+       << "  \"tool\": \"perf_lockstep\",\n"
+       << "  \"instructions\": " << args.instructions << ",\n"
+       << "  \"warmup\": " << args.warmup << ",\n"
+       << "  \"seed\": " << args.seed << ",\n"
+       << "  \"repeat\": " << repeat << ",\n"
+       << "  \"runsPerBenchmark\": " << grid << ",\n"
+       << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        os << "    {\"id\": \"" << r.benchmark << "\", \"serial\": "
+           << "{\"wallSeconds\": " << r.serialSeconds
+           << ", \"medianWallSeconds\": " << r.medianSerialSeconds
+           << "}, \"lockstep\": {\"wallSeconds\": " << r.lockstepSeconds
+           << ", \"medianWallSeconds\": " << r.medianLockstepSeconds
+           << ", \"batches\": " << r.stats.batches
+           << ", \"batchedRuns\": " << r.stats.batchedRuns
+           << "}, \"speedup\": " << r.speedup << ", \"identical\": "
+           << (r.identical ? "true" : "false") << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"overall\": {\"wallSecondsSerial\": " << wall_serial
+       << ", \"wallSecondsLockstep\": " << wall_lockstep
+       << ", \"speedup\": " << overall << ", \"allIdentical\": "
+       << (all_identical ? "true" : "false") << "}\n"
+       << "}\n";
+    inform("wrote " + out_path);
+
+    return all_identical ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerate BENCH_lockstep.json, the checked-in lockstep-executor
+# throughput baseline (snapshot-cached serial vs lockstep batch over a
+# power-characterization grid per benchmark: same front-end, M replica
+# accountants). Extra flags are passed through to bench/perf_lockstep,
+# e.g. --repeat=N, --grid=M or --benchmarks=a,b,c.
+set -e
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build="$repo/build"
+
+cmake -S "$repo" -B "$build" >/dev/null
+cmake --build "$build" --target perf_lockstep -j >/dev/null
+"$build/bench/perf_lockstep" --out="$repo/BENCH_lockstep.json" "$@"

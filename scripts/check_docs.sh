@@ -62,7 +62,17 @@ for f in $(grep -ohE 'BENCH_[A-Za-z0-9_]+\.json' $docs | sort -u); do
     fi
 done
 
-# 5. Relative markdown link targets must exist.
+# 5. Documented ctest gate names (the `*_smoke` canaries) must be
+#    registered with add_test under a stable name in a CMakeLists, so
+#    a renamed gate cannot leave CI dashboards pointing at prose.
+for t in $(grep -ohE '`[a-z0-9_]+_smoke`' $docs | tr -d '\`' | sort -u); do
+    if ! grep -rq -- "add_test(NAME $t" tests/CMakeLists.txt \
+            bench/CMakeLists.txt; then
+        err "ctest gate $t is documented but registered nowhere"
+    fi
+done
+
+# 6. Relative markdown link targets must exist.
 for l in $(grep -ohE '\]\([^)]+\)' $docs | sed 's/^](//; s/)$//' |
            sort -u); do
     case "$l" in http://*|https://*|'#'*) continue ;; esac

@@ -25,8 +25,19 @@ parseExperimentArgs(int argc, char **argv,
     args.instructions =
         args.config.getUInt("instructions", default_instructions);
     args.warmup = args.config.getUInt("warmup", default_warmup);
+    // 0 = auto-size the pool (hardware concurrency, clamped); an
+    // explicit --jobs=N is taken literally.
     args.jobs =
-        static_cast<unsigned>(args.config.getUInt("jobs", 1));
+        static_cast<unsigned>(args.config.getUInt("jobs", 0));
+    // Valueless "--no-lockstep" parses as no-lockstep=true.
+    const bool no_lockstep = args.config.getBool("no-lockstep", false);
+    args.lockstep =
+        static_cast<unsigned>(args.config.getUInt("lockstep", 16));
+    if (no_lockstep) {
+        if (args.config.has("lockstep"))
+            fatal("--lockstep conflicts with --no-lockstep");
+        args.lockstep = 0;
+    }
     args.jsonPath = args.config.getString("json", "");
     args.seed = args.config.getUInt("seed", 0);
     // Valueless "--no-fast-forward" parses as no-fast-forward=true.
@@ -147,6 +158,11 @@ runSweep(const ExperimentArgs &args, const std::string &tool,
     args.config.rejectUnknown(tool);
 
     SweepRunner runner(args.jobs, args.retries);
+    // Lockstep batching: structurally identical configs share one
+    // front-end (default on; --no-lockstep opts out, --lockstep=M
+    // caps the batch width). Bit-identical to serial execution, with
+    // automatic per-member serial fallback on any batch failure.
+    runner.enableLockstep(args.lockstep);
 
     // Warmup deduplication: on by default; every run whose warmup
     // fingerprint repeats restores a snapshot instead of re-warming
@@ -221,6 +237,7 @@ runSweep(const ExperimentArgs &args, const std::string &tool,
         manifest.wallSeconds = wall_seconds;
         if (cache)
             manifest.snapshotCache = cache->stats();
+        manifest.lockstep = runner.lockstepStats();
         manifest.config = args.config.items();
 
         std::ofstream os(args.jsonPath);

@@ -31,8 +31,17 @@ struct ExperimentArgs
     std::vector<std::string> positional;
     std::uint64_t instructions = 0;
     std::uint64_t warmup = 0;
-    /** Worker threads for the sweep (--jobs, default 1; 0 = auto). */
-    unsigned jobs = 1;
+    /** Worker threads for the sweep (--jobs; 0 = the default = auto:
+     *  std::thread::hardware_concurrency(), clamped to [1, 64] in
+     *  SweepRunner and reported in the manifest's `threads`; an
+     *  explicit --jobs=N is used as given). */
+    unsigned jobs = 0;
+    /** --lockstep=M: batch up to M structurally identical configs
+     *  into one lockstep simulator sharing a front-end (default 16,
+     *  on for eligible grids; see lockstep.hh); --no-lockstep (= 0)
+     *  forces every run serial. Results are bit-identical either
+     *  way. */
+    unsigned lockstep = 16;
     /** When nonempty, write the sweep JSON document here (--json). */
     std::string jsonPath;
     /** Sweep seed mixed into every run's profile seed (--seed). */

@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "common/minijson.hh"
+#include "harness/lockstep.hh"
 #include "stats/stats.hh"
 
 #ifndef VSV_GIT_DESCRIBE
@@ -50,8 +51,10 @@ SweepRunner::SweepRunner(unsigned jobs, unsigned retries)
     : threads_(jobs), retries_(retries)
 {
     if (threads_ == 0) {
+        // Auto-sizing (the --jobs default) clamps to a sane ceiling;
+        // an explicit nonzero request is honoured as given.
         const unsigned hw = std::thread::hardware_concurrency();
-        threads_ = hw != 0 ? hw : 1;
+        threads_ = std::min(hw != 0 ? hw : 1, 64u);
     }
 }
 
@@ -152,24 +155,79 @@ std::vector<SweepOutcome>
 SweepRunner::run(const std::vector<SweepJob> &jobs)
 {
     std::vector<SweepOutcome> outcomes(jobs.size());
+    lockstepStats_ = LockstepStats{};
+    lockstepStats_.enabled = lockstepMax_ >= 2;
+    lockstepStats_.maxReplicas = lockstepMax_;
     if (jobs.empty())
         return outcomes;
 
-    // Workers pull the next un-run index; each outcome lands in its
+    // The unit of scheduling is a task: one serial job, or one
+    // lockstep batch of structurally identical jobs that share a
+    // front-end (lockstep.hh). With lockstep off every job is its own
+    // task - the original behaviour, instruction for instruction.
+    struct Task
+    {
+        std::vector<std::size_t> members;
+    };
+    std::vector<Task> tasks;
+    if (lockstepStats_.enabled) {
+        LockstepPlan plan =
+            planLockstep(jobs, lockstepMax_, lockstepStats_);
+        tasks.reserve(plan.batches.size() + plan.serial.size());
+        for (LockstepBatch &batch : plan.batches)
+            tasks.push_back({std::move(batch.members)});
+        for (const std::size_t i : plan.serial)
+            tasks.push_back({{i}});
+    } else {
+        tasks.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            tasks.push_back({{i}});
+    }
+
+    // Workers pull the next un-run task; each outcome lands in its
     // submission slot, so the result vector is schedule-independent.
     std::atomic<std::size_t> next{0};
-    auto worker = [this, &jobs, &outcomes, &next]() {
+    std::atomic<std::uint64_t> fallbacks{0};
+    auto worker = [this, &jobs, &tasks, &outcomes, &next,
+                   &fallbacks]() {
         for (;;) {
-            const std::size_t i =
+            const std::size_t t =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
+            if (t >= tasks.size())
                 return;
-            outcomes[i] = runWithRetries(jobs[i]);
+            const std::vector<std::size_t> &members = tasks[t].members;
+            if (members.size() == 1) {
+                outcomes[members[0]] = runWithRetries(jobs[members[0]]);
+                continue;
+            }
+            // A batch failure (including the simulator's lockstep
+            // divergence fatal()) is not a campaign failure: every
+            // member falls back to the normal isolated serial path,
+            // retries and all.
+            bool batched = false;
+            try {
+                ScopedThrowingFatal guard;
+                std::vector<SweepOutcome> batch =
+                    runLockstepBatch(jobs, members);
+                for (std::size_t m = 0; m < members.size(); ++m)
+                    outcomes[members[m]] = std::move(batch[m]);
+                batched = true;
+            } catch (const std::exception &e) {
+                warn("lockstep batch led by " + jobs[members[0]].id +
+                     " (" + std::to_string(members.size()) +
+                     " configs) failed: " + e.what() +
+                     "; re-running its members serially");
+            }
+            if (!batched) {
+                fallbacks.fetch_add(1, std::memory_order_relaxed);
+                for (const std::size_t i : members)
+                    outcomes[i] = runWithRetries(jobs[i]);
+            }
         }
     };
 
     const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(threads_, jobs.size()));
+        std::min<std::size_t>(threads_, tasks.size()));
     if (workers <= 1) {
         worker();
     } else {
@@ -180,6 +238,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
         for (auto &t : pool)
             t.join();
     }
+    lockstepStats_.fallbacks =
+        fallbacks.load(std::memory_order_relaxed);
     return outcomes;
 }
 
@@ -215,9 +275,15 @@ fingerprintHash(const std::string &text)
     return buf;
 }
 
+} // namespace
+
 // Append helpers shared by configFingerprint (everything that can
-// change results) and warmupFingerprint (the subset that can change
-// post-warmup state). Each appends a trailing separator.
+// change results), warmupFingerprint (the subset that can change
+// post-warmup state) and structuralFingerprint (the subset that can
+// change cycle-level behaviour; lockstep.cc).
+
+namespace fingerprint_detail
+{
 
 void
 appendPowerKnobs(std::ostream &s, const PowerModelConfig &p)
@@ -259,6 +325,13 @@ appendPrefetcherKnobs(std::ostream &s, const TimekeepingConfig &tk,
       << stride.streams << sep << stride.degree << sep
       << stride.maxStrideBytes << sep;
 }
+
+} // namespace fingerprint_detail
+
+namespace
+{
+
+using namespace fingerprint_detail;
 
 /**
  * Every workload-generation knob (the Table 2 calibration targets are
@@ -447,7 +520,26 @@ writeSweepJson(std::ostream &os, const SweepManifest &manifest,
        << ",\"misses\":" << manifest.snapshotCache.misses
        << ",\"diskHits\":" << manifest.snapshotCache.diskHits
        << ",\"failures\":" << manifest.snapshotCache.failures
-       << "},\"config\":{";
+       << "},\"lockstep\":{"
+       << "\"enabled\":"
+       << (manifest.lockstep.enabled ? "true" : "false")
+       << ",\"maxReplicas\":" << manifest.lockstep.maxReplicas
+       << ",\"batches\":" << manifest.lockstep.batches
+       << ",\"batchedRuns\":" << manifest.lockstep.batchedRuns
+       << ",\"serialRuns\":" << manifest.lockstep.serialRuns
+       << ",\"largestBatch\":" << manifest.lockstep.largestBatch
+       << ",\"fallbacks\":" << manifest.lockstep.fallbacks
+       << ",\"ineligible\":{";
+    {
+        bool first_reason = true;
+        for (const auto &[reason, count] :
+             manifest.lockstep.ineligible) {
+            os << (first_reason ? "" : ",") << '"' << jsonEscape(reason)
+               << "\":" << count;
+            first_reason = false;
+        }
+    }
+    os << "}},\"config\":{";
     bool first = true;
     for (const auto &[key, value] : manifest.config) {
         os << (first ? "" : ",") << '"' << jsonEscape(key) << "\":\""

@@ -98,6 +98,25 @@ struct SweepOutcome
     }
 };
 
+/**
+ * Lockstep batching effectiveness, reported in the sweep manifest so
+ * a silent fallback to serial execution is visible in the JSON rather
+ * than inferred from wall-time (see lockstep.hh).
+ */
+struct LockstepStats
+{
+    bool enabled = false;
+    unsigned maxReplicas = 0;       ///< --lockstep cap (configs/batch)
+    std::uint64_t batches = 0;      ///< batches formed (>= 2 members)
+    std::uint64_t batchedRuns = 0;  ///< jobs executed as batch members
+    std::uint64_t serialRuns = 0;   ///< jobs executed serially
+    std::uint64_t largestBatch = 0; ///< members in the biggest batch
+    /** Batches that failed mid-flight and re-ran serially. */
+    std::uint64_t fallbacks = 0;
+    /** Ineligible job count per reason (lockstepIneligibleReason). */
+    std::map<std::string, std::uint64_t> ineligible;
+};
+
 /** Fixed-size thread pool executing SweepJobs in any order. */
 class SweepRunner
 {
@@ -136,6 +155,23 @@ class SweepRunner
     }
 
     /**
+     * Batch structurally-identical jobs into lockstep groups of at
+     * most `maxReplicas` configs sharing one front-end (lockstep.hh);
+     * 0 disables (the default). Results stay bit-identical to serial
+     * execution; a failed batch transparently falls back to per-job
+     * serial runs. Effectiveness counters land in lockstepStats().
+     */
+    void enableLockstep(unsigned maxReplicas)
+    {
+        lockstepMax_ = maxReplicas;
+    }
+
+    unsigned lockstepMax() const { return lockstepMax_; }
+
+    /** Batching counters of the most recent run(). */
+    const LockstepStats &lockstepStats() const { return lockstepStats_; }
+
+    /**
      * Run one job inline with no isolation: exceptions propagate and
      * fatal() exits, as in a plain single-run binary. A non-null
      * `cache` deduplicates the warmup (see enableWarmupSnapshots).
@@ -158,6 +194,8 @@ class SweepRunner
     unsigned threads_;
     unsigned retries_;
     WarmupSnapshotCache *snapshotCache_ = nullptr;
+    unsigned lockstepMax_ = 0;
+    LockstepStats lockstepStats_;
 };
 
 /**
@@ -179,6 +217,19 @@ void applyRunSeed(SimulationOptions &options, std::uint64_t sweepSeed);
  * a resumed campaign may vary them without invalidating prior runs.
  */
 std::string configFingerprint(const SimulationOptions &options);
+
+namespace fingerprint_detail
+{
+// Knob-serialization helpers shared by configFingerprint /
+// warmupFingerprint (sweep.cc) and structuralFingerprint
+// (lockstep.cc), so the three fingerprints cannot silently drift
+// apart on the knobs they share. Each appends a trailing separator.
+void appendPowerKnobs(std::ostream &s, const PowerModelConfig &p);
+void appendCacheKnobs(std::ostream &s, const HierarchyConfig &h);
+void appendBranchKnobs(std::ostream &s, const BranchPredictorConfig &b);
+void appendPrefetcherKnobs(std::ostream &s, const TimekeepingConfig &tk,
+                           const StridePrefetcherConfig &stride);
+} // namespace fingerprint_detail
 
 /**
  * Stable 64-bit hex fingerprint of exactly the options that can
@@ -206,6 +257,8 @@ struct SweepManifest
     double wallSeconds = 0.0;         ///< sweep wall-clock duration
     /** Warmup snapshot cache effectiveness (enabled=false = off). */
     SnapshotCacheStats snapshotCache;
+    /** Lockstep batching effectiveness (enabled=false = off). */
+    LockstepStats lockstep;
     /** Echo of the command-line configuration (Config::items()). */
     std::vector<std::pair<std::string, std::string>> config;
 };

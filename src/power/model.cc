@@ -94,6 +94,9 @@ PowerModel::domainVoltageSq(VoltageDomain domain) const
 void
 PowerModel::recordAccess(PowerStructure s, double count)
 {
+    for (std::size_t f = 0; f < fanoutCount_; ++f)
+        fanout_[f]->recordAccess(s, count);
+
     const auto idx = static_cast<std::size_t>(s);
     const StructureParams &params = structureParams(s);
 
@@ -113,6 +116,9 @@ PowerModel::recordAccess(PowerStructure s, double count)
 void
 PowerModel::tick(bool pipeline_edge)
 {
+    for (std::size_t f = 0; f < fanoutCount_; ++f)
+        fanout_[f]->tick(pipeline_edge);
+
     ++ticks;
     if (pipeline_edge)
         ++pipelineEdges;

@@ -121,6 +121,23 @@ class PowerModel
         traceCore = core;
     }
 
+    /**
+     * Lockstep fanout: mirror every recordAccess() and tick() into
+     * `n` follower models (each charging at its *own* pipeline VDD /
+     * latch-path selection, as pushed by its replica's controller).
+     * Only those two methods forward - controller-driven calls
+     * (setPipelineVdd, setLowPowerPath, addRampEnergy) and the idle
+     * banking entry point accrueIdleTicks() are made per replica by
+     * the lockstep executor, so each follower replays exactly the
+     * call sequence a serial run of its config would see. Followers
+     * must outlive the fanout window; pass (nullptr, 0) to detach.
+     */
+    void setFanout(PowerModel *const *followers, std::size_t n)
+    {
+        fanout_ = n ? followers : nullptr;
+        fanoutCount_ = n;
+    }
+
     /** Record `count` accesses to structure s during this tick. */
     void recordAccess(PowerStructure s, double count = 1.0);
 
@@ -214,6 +231,9 @@ class PowerModel
     bool lowPowerPath = false;
     TraceSink *trace = nullptr;
     std::uint16_t traceCore = 0;
+    /** Lockstep follower models; see setFanout(). */
+    PowerModel *const *fanout_ = nullptr;
+    std::size_t fanoutCount_ = 0;
 
     std::array<double, numPowerStructures> accessesThisTick{};
     /** O(1) test for "no structure accessed this tick". */

@@ -226,6 +226,60 @@ TEST(GoldenStatsTest, CachedWarmupGridMatchesGoldenFile)
     }
 }
 
+TEST(GoldenStatsTest, LockstepGridMatchesGoldenFile)
+{
+    // The lockstep batch executor must hold the same golden line. The
+    // pinned grid alone never batches (its configs are structurally
+    // distinct), so run it alongside a "-dup" copy of each
+    // single-core job: every pair shares a structural fingerprint and
+    // forms a real 2-replica batch whose leader *and* replica outcome
+    // must both match the pinned scalars exactly. The 2-core jobs
+    // stay ineligible and take the serial path under the same runner.
+    if (update_golden)
+        GTEST_SKIP() << "regeneration uses the uncached grid";
+
+    const std::map<std::string, ScalarMap> golden =
+        loadGolden(VSV_GOLDEN_STATS_JSON);
+    if (golden.empty())
+        return;  // loadGolden already failed the test
+
+    std::vector<SweepJob> jobs = goldenGrid();
+    const std::size_t pinned = jobs.size();
+    for (std::size_t i = 0; i < pinned; ++i) {
+        if (jobs[i].options.cores != 1)
+            continue;
+        SweepJob dup = jobs[i];
+        dup.id += "-dup";
+        jobs.push_back(std::move(dup));
+    }
+
+    SweepRunner runner(0);
+    runner.enableLockstep(16);
+    const std::vector<SweepOutcome> outcomes = runner.run(jobs);
+
+    const LockstepStats &stats = runner.lockstepStats();
+    EXPECT_EQ(stats.batches, 4u);
+    EXPECT_EQ(stats.batchedRuns, 8u);
+    EXPECT_EQ(stats.serialRuns, 2u);
+    EXPECT_EQ(stats.fallbacks, 0u);
+    ASSERT_EQ(stats.ineligible.size(), 1u);
+    EXPECT_EQ(stats.ineligible.at("multi-core"), 2u);
+
+    for (const SweepOutcome &outcome : outcomes) {
+        EXPECT_EQ(outcome.status, SweepStatus::Ok) << outcome.error;
+        std::string id = outcome.id;
+        if (id.size() > 4 && id.compare(id.size() - 4, 4, "-dup") == 0)
+            id.resize(id.size() - 4);
+        const auto it = golden.find(id);
+        if (it == golden.end()) {
+            ADD_FAILURE() << "run " << outcome.id
+                          << " has no golden entry; regenerate";
+            continue;
+        }
+        expectSameScalars(outcome.id, it->second, outcome.scalars);
+    }
+}
+
 TEST(GoldenStatsTest, SelfTestDetectsAPerturbedScalar)
 {
     // The comparison must actually be able to fail: perturb one
