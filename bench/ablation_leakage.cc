@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -49,7 +50,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "ablation_leakage", jobs);
+        campaign::runCampaignSweep(args, "ablation_leakage", jobs);
 
     if (reportSweepFailures(outcomes) != 0)
         return 1;

@@ -14,6 +14,7 @@
 #include <functional>
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -95,7 +96,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "ablation_vsv", jobs);
+        campaign::runCampaignSweep(args, "ablation_vsv", jobs);
 
     if (reportSweepFailures(outcomes) != 0)
         return 1;

@@ -17,6 +17,7 @@
 
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -62,7 +63,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "baseline_techniques", jobs);
+        campaign::runCampaignSweep(args, "baseline_techniques", jobs);
 
     if (reportSweepFailures(outcomes) != 0)
         return 1;

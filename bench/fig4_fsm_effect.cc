@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -54,7 +55,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "fig4_fsm_effect", jobs);
+        campaign::runCampaignSweep(args, "fig4_fsm_effect", jobs);
 
     if (reportSweepFailures(outcomes) != 0)
         return 1;

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -38,7 +39,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "fig5_down_thresholds", jobs);
+        campaign::runCampaignSweep(args, "fig5_down_thresholds", jobs);
 
     if (reportSweepFailures(outcomes) != 0)
         return 1;

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -52,7 +53,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "fig6_up_thresholds", jobs);
+        campaign::runCampaignSweep(args, "fig6_up_thresholds", jobs);
 
     if (reportSweepFailures(outcomes) != 0)
         return 1;

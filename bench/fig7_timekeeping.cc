@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -63,7 +64,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "fig7_timekeeping", jobs);
+        campaign::runCampaignSweep(args, "fig7_timekeeping", jobs);
 
     if (reportSweepFailures(outcomes) != 0)
         return 1;

@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -51,7 +52,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "prefetcher_compare", jobs);
+        campaign::runCampaignSweep(args, "prefetcher_compare", jobs);
 
     if (reportSweepFailures(outcomes) != 0)
         return 1;

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -98,7 +99,7 @@ main(int argc, char **argv)
     table.print(std::cout);
 
     if (!args.jsonPath.empty()) {
-        runSweep(args, "table1_config", {});
+        campaign::runCampaignSweep(args, "table1_config", {});
     } else {
         args.config.rejectUnknown("table1_config");
     }

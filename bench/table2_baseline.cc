@@ -13,6 +13,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -40,7 +41,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "table2_baseline", jobs);
+        campaign::runCampaignSweep(args, "table2_baseline", jobs);
 
     if (reportSweepFailures(outcomes) != 0)
         return 1;

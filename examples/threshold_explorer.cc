@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -45,7 +46,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "threshold_explorer", jobs);
+        campaign::runCampaignSweep(args, "threshold_explorer", jobs);
 
     if (reportSweepFailures(outcomes) != 0)
         return 1;

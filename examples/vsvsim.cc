@@ -37,6 +37,7 @@
 
 #include <iostream>
 
+#include "campaign/campaign.hh"
 #include "harness/experiment.hh"
 
 using namespace vsv;
@@ -152,7 +153,7 @@ main(int argc, char **argv)
     const bool csv_header = config.getBool("csv-header", false);
 
     const std::vector<SweepOutcome> outcomes =
-        runSweep(args, "vsvsim", jobs);
+        campaign::runCampaignSweep(args, "vsvsim", jobs);
     const std::size_t failures = reportSweepFailures(outcomes);
 
     bool first = true;

@@ -6,7 +6,7 @@
 set -u
 cd "$(dirname "$0")/.."
 
-docs="README.md EXPERIMENTS.md OBSERVABILITY.md DESIGN.md"
+docs="README.md EXPERIMENTS.md OBSERVABILITY.md DESIGN.md CAMPAIGNS.md"
 fail=0
 
 err() {
@@ -19,11 +19,13 @@ err() {
 #    ("retries", the Config::get* sites) or with its dashes
 #    ("--update-golden", flags a test main strips itself).
 #    Allowlisted: meta placeholders and flags belonging to other tools
-#    (cmake --build, ctest --test-dir).
-allow_flags=" options build test-dir output-on-failure "
+#    (cmake --build, ctest --test-dir, git describe --always --dirty).
+#    A trailing dash is a family glob ("--campaign-*"), not a flag.
+allow_flags=" options build test-dir output-on-failure always dirty "
 for flag in $(grep -ohE -- '--[a-z][a-z0-9-]*' $docs | sed 's/^--//' |
               sort -u); do
     case "$allow_flags" in *" $flag "*) continue ;; esac
+    case "$flag" in *-) continue ;; esac
     if ! grep -rqE -- "\"(--)?$flag\"" src bench examples tests; then
         err "flag --$flag is documented but parsed nowhere in src/ bench/ examples/ tests/"
     fi
@@ -72,7 +74,30 @@ for t in $(grep -ohE '`[a-z0-9_]+_smoke`' $docs | tr -d '\`' | sort -u); do
     fi
 done
 
-# 6. Relative markdown link targets must exist.
+# 6. CAMPAIGNS.md's message catalog must match the wire protocol
+#    implementation: every "type":"NAME" literal src/campaign emits
+#    needs a catalog entry, and every cataloged message must be one
+#    the code emits (so a renamed message cannot leave the spec
+#    stale). The source spells the literal with escaped quotes
+#    (\"type\":\"hello\"), the doc without.
+impl_msgs=$(grep -ohE 'type\\":\\"[a-z]+' src/campaign/*.cc src/campaign/*.hh |
+            sed 's/.*\\"//' | sort -u)
+doc_msgs=$(grep -ohE '"type":"[a-z]+"' CAMPAIGNS.md |
+           sed 's/.*type":"//; s/"$//' | sort -u)
+[ -n "$impl_msgs" ] || err "no wire message types found in src/campaign"
+[ -n "$doc_msgs" ] || err "no message catalog entries found in CAMPAIGNS.md"
+for m in $impl_msgs; do
+    if ! echo "$doc_msgs" | grep -qx "$m"; then
+        err "wire message \"$m\" is emitted by src/campaign but missing from the CAMPAIGNS.md catalog"
+    fi
+done
+for m in $doc_msgs; do
+    if ! echo "$impl_msgs" | grep -qx "$m"; then
+        err "wire message \"$m\" is cataloged in CAMPAIGNS.md but emitted nowhere in src/campaign"
+    fi
+done
+
+# 7. Relative markdown link targets must exist.
 for l in $(grep -ohE '\]\([^)]+\)' $docs | sed 's/^](//; s/)$//' |
            sort -u); do
     case "$l" in http://*|https://*|'#'*) continue ;; esac

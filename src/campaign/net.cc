@@ -1,0 +1,142 @@
+#include "net.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace vsv
+{
+namespace campaign
+{
+namespace net
+{
+
+HostPort
+parseHostPort(const std::string &spec, const std::string &defaultHost)
+{
+    if (spec.empty())
+        fatal("empty campaign address");
+    HostPort addr;
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+        if (defaultHost.empty()) {
+            fatal("campaign address '" + spec +
+                  "' must be HOST:PORT");
+        }
+        addr.host = defaultHost;
+        addr.port = spec;
+    } else {
+        addr.host = spec.substr(0, colon);
+        addr.port = spec.substr(colon + 1);
+        if (addr.host.empty())
+            addr.host = defaultHost;
+    }
+    if (addr.host.empty() || addr.port.empty())
+        fatal("campaign address '" + spec + "' must be HOST:PORT");
+    return addr;
+}
+
+namespace
+{
+
+struct AddrInfoList
+{
+    addrinfo *list = nullptr;
+    ~AddrInfoList()
+    {
+        if (list)
+            ::freeaddrinfo(list);
+    }
+};
+
+AddrInfoList
+resolve(const HostPort &addr, bool passive)
+{
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = passive ? AI_PASSIVE : 0;
+    AddrInfoList out;
+    const int rc = ::getaddrinfo(addr.host.c_str(), addr.port.c_str(),
+                                 &hints, &out.list);
+    if (rc != 0) {
+        fatal("cannot resolve campaign address " + addr.host + ":" +
+              addr.port + ": " + ::gai_strerror(rc));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+connectTo(const HostPort &addr)
+{
+    AddrInfoList addrs = resolve(addr, /*passive=*/false);
+    int lastErrno = 0;
+    for (addrinfo *ai = addrs.list; ai; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                                ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            return fd;
+        lastErrno = errno;
+        ::close(fd);
+    }
+    fatal("cannot connect to campaign coordinator " + addr.host + ":" +
+          addr.port + ": " + std::strerror(lastErrno));
+    return -1;
+}
+
+int
+listenOn(const HostPort &addr)
+{
+    AddrInfoList addrs = resolve(addr, /*passive=*/true);
+    int lastErrno = 0;
+    for (addrinfo *ai = addrs.list; ai; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                                ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, SOMAXCONN) == 0) {
+            return fd;
+        }
+        lastErrno = errno;
+        ::close(fd);
+    }
+    fatal("cannot listen on campaign address " + addr.host + ":" +
+          addr.port + ": " + std::strerror(lastErrno));
+    return -1;
+}
+
+std::uint16_t
+boundPort(int fd)
+{
+    sockaddr_storage ss = {};
+    socklen_t len = sizeof(ss);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&ss), &len) != 0)
+        fatal(std::string("getsockname failed: ") + std::strerror(errno));
+    if (ss.ss_family == AF_INET) {
+        return ntohs(reinterpret_cast<sockaddr_in *>(&ss)->sin_port);
+    } else if (ss.ss_family == AF_INET6) {
+        return ntohs(reinterpret_cast<sockaddr_in6 *>(&ss)->sin6_port);
+    }
+    return 0;
+}
+
+} // namespace net
+} // namespace campaign
+} // namespace vsv

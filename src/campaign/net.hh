@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal TCP plumbing for campaign endpoints: address parsing,
+ * connect (worker side) and listen (coordinator side). IPv4/IPv6 via
+ * getaddrinfo; all sockets are blocking - the coordinator multiplexes
+ * with poll(), the worker is naturally sequential.
+ */
+
+#ifndef VSV_CAMPAIGN_NET_HH
+#define VSV_CAMPAIGN_NET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vsv
+{
+namespace campaign
+{
+namespace net
+{
+
+/** A "[HOST:]PORT" flag value, split. */
+struct HostPort
+{
+    std::string host;
+    std::string port;
+};
+
+/**
+ * Split --campaign-listen / --campaign-connect syntax. A bare "PORT"
+ * is accepted only when `defaultHost` is nonempty (listen side, where
+ * it means "bind defaultHost"); fatal() on an empty port or empty
+ * spec.
+ */
+HostPort parseHostPort(const std::string &spec,
+                       const std::string &defaultHost = "");
+
+/** Connect to host:port; fatal() when unresolvable or refused. */
+int connectTo(const HostPort &addr);
+
+/**
+ * Bind host:port (port "0" = ephemeral) and listen; fatal() on
+ * failure. SO_REUSEADDR is set so quick campaign restarts do not trip
+ * over TIME_WAIT.
+ */
+int listenOn(const HostPort &addr);
+
+/** The local port a listening socket actually bound (ephemeral). */
+std::uint16_t boundPort(int fd);
+
+} // namespace net
+} // namespace campaign
+} // namespace vsv
+
+#endif // VSV_CAMPAIGN_NET_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Wire protocol for distributed sweep campaigns (CAMPAIGNS.md is the
+ * normative field-by-field specification; this header is its
+ * implementation).
+ *
+ * Framing: every message is one frame - a 4-byte big-endian unsigned
+ * payload length followed by exactly that many bytes of RFC 8259
+ * JSON (one object, parsed by common/minijson). A length of zero or
+ * above kMaxFramePayloadBytes is a protocol error; so is EOF inside
+ * a frame (header or payload). EOF *between* frames is a clean
+ * close.
+ *
+ * Messages: five types, dispatched on the "type" member -
+ * `hello` (handshake, both directions), `assign`
+ * (coordinator -> worker work lease), `outcome` (worker ->
+ * coordinator result stream), `heartbeat` (worker -> coordinator
+ * liveness), `bye` (farewell, both directions). Anything else, and
+ * any frame that is not valid JSON of the documented shape, throws
+ * ProtocolError; the peer that sent it is treated as failed, never
+ * guessed at.
+ *
+ * The OUTCOME payload reuses the sweep manifest's result schema
+ * (writeSimulationResultJson) and carries the stats document as an
+ * opaque string, so the merged manifest the coordinator writes is
+ * byte-identical to what a single-process sweep of the same grid
+ * would have produced (modulo the host-dependent throughput block).
+ */
+
+#ifndef VSV_CAMPAIGN_PROTOCOL_HH
+#define VSV_CAMPAIGN_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace vsv
+{
+namespace campaign
+{
+
+/** Bumped on any incompatible change; HELLO carries it. */
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Frame header: payload byte count, 4-byte big-endian unsigned. */
+constexpr std::size_t kFrameHeaderBytes = 4;
+
+/**
+ * Upper bound on one frame's payload. A full OUTCOME (result + stats
+ * dump + stats text) is well under a megabyte; anything claiming
+ * more is a corrupt or hostile header and is rejected before any
+ * allocation.
+ */
+constexpr std::size_t kMaxFramePayloadBytes = 64u << 20;
+
+/** A malformed frame or message; the connection cannot continue. */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Prefix `payload` with its frame header; validates the length. */
+std::string encodeFrame(const std::string &payload);
+
+/**
+ * Incremental frame decoder for the coordinator's poll loop: feed()
+ * whatever bytes arrived, then drain next() until it returns
+ * nullopt. Throws ProtocolError on a zero or oversized length the
+ * moment the header is complete. Partial frames simply stay
+ * buffered.
+ */
+class FrameReader
+{
+  public:
+    void feed(const char *data, std::size_t n);
+    std::optional<std::string> next();
+    std::size_t buffered() const { return buf.size(); }
+
+  private:
+    std::string buf;
+};
+
+/**
+ * Write one frame to a socket/pipe fd. Uses MSG_NOSIGNAL, so a dead
+ * peer yields `false` (EPIPE/ECONNRESET/short write), never SIGPIPE.
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Blocking read of one frame. nullopt on clean EOF at a frame
+ * boundary; ProtocolError on EOF mid-frame or a bad header; retries
+ * EINTR.
+ */
+std::optional<std::string> readFrame(int fd);
+
+/**
+ * HELLO - first frame in each direction. The worker introduces
+ * itself; the coordinator validates protocol and grid fingerprint
+ * and answers with its own HELLO (acceptance) or BYE (refusal).
+ */
+struct HelloMessage
+{
+    std::uint32_t protocol = kProtocolVersion;
+    std::string role;        ///< "worker" or "coordinator"
+    std::string tool;        ///< producing binary's name
+    std::string gitDescribe; ///< buildGitDescribe() (advisory)
+    std::string grid;        ///< sweepGridFingerprint of the grid
+    std::uint64_t runs = 0;  ///< grid size (advisory, grid pins it)
+};
+
+/** One leased run inside an ASSIGN. */
+struct AssignedRun
+{
+    std::uint64_t index = 0; ///< submission-order grid index
+    std::string id;          ///< SweepJob::id (cross-checked)
+    std::string fingerprint; ///< configFingerprint (cross-checked)
+};
+
+/** ASSIGN - a contiguous lease of runs for one worker. */
+struct AssignMessage
+{
+    std::vector<AssignedRun> runs;
+};
+
+/** OUTCOME - one finished run, streamed as soon as it is final. */
+struct OutcomeMessage
+{
+    std::uint64_t index = 0;
+    SweepOutcome outcome;
+};
+
+/** HEARTBEAT - periodic worker liveness + progress counters. */
+struct HeartbeatMessage
+{
+    std::uint64_t done = 0;     ///< outcomes sent so far
+    std::uint64_t inFlight = 0; ///< leased but not yet reported
+};
+
+/** BYE - farewell; `reason` is "complete" on normal shutdown. */
+struct ByeMessage
+{
+    std::string reason;
+};
+
+using Message = std::variant<HelloMessage, AssignMessage,
+                             OutcomeMessage, HeartbeatMessage,
+                             ByeMessage>;
+
+std::string encode(const HelloMessage &m);
+std::string encode(const AssignMessage &m);
+std::string encode(const OutcomeMessage &m);
+std::string encode(const HeartbeatMessage &m);
+std::string encode(const ByeMessage &m);
+
+/** Wire spelling of a message's "type" member. */
+std::string_view messageTypeName(const Message &m);
+
+/** Parse + dispatch one frame payload; ProtocolError on anything
+ *  that is not exactly one well-formed message. */
+Message decodeMessage(const std::string &payload);
+
+} // namespace campaign
+} // namespace vsv
+
+#endif // VSV_CAMPAIGN_PROTOCOL_HH

@@ -1,0 +1,280 @@
+#include "worker.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "campaign/net.hh"
+#include "campaign/protocol.hh"
+#include "common/logging.hh"
+
+namespace vsv
+{
+namespace campaign
+{
+
+namespace
+{
+
+/**
+ * Serializes frame writes: OUTCOMEs come from SweepRunner pool
+ * threads while HEARTBEATs come from the liveness thread, and an
+ * interleaved frame would corrupt the stream for good.
+ */
+class FrameSender
+{
+  public:
+    explicit FrameSender(int fd) : fd(fd) {}
+
+    bool
+    send(const std::string &payload)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (dead)
+            return false;
+        if (!writeFrame(fd, payload)) {
+            dead = true;
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    int fd;
+    std::mutex mutex;
+    bool dead = false;
+};
+
+/** Periodic HEARTBEAT emitter; wakes early on stop() for fast exit. */
+class HeartbeatThread
+{
+  public:
+    HeartbeatThread(FrameSender &sender, double periodSeconds,
+                    const std::atomic<std::uint64_t> &done,
+                    const std::atomic<std::uint64_t> &inFlight)
+        : sender(sender), period(periodSeconds), done(done),
+          inFlight(inFlight)
+    {
+        if (period > 0.0)
+            thread = std::thread([this] { loop(); });
+    }
+
+    ~HeartbeatThread() { stop(); }
+
+    void
+    stop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        cv.notify_all();
+        if (thread.joinable())
+            thread.join();
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        const auto interval = std::chrono::duration<double>(period);
+        while (!cv.wait_for(lock, interval,
+                            [this] { return stopping; })) {
+            HeartbeatMessage hb;
+            hb.done = done.load();
+            hb.inFlight = inFlight.load();
+            lock.unlock();
+            // A failed send means the coordinator is gone; the main
+            // loop's readFrame will see the same condition and exit.
+            sender.send(encode(hb));
+            lock.lock();
+        }
+    }
+
+    FrameSender &sender;
+    double period;
+    const std::atomic<std::uint64_t> &done;
+    const std::atomic<std::uint64_t> &inFlight;
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+} // namespace
+
+int
+serveCoordinator(int fd, const ExperimentArgs &args,
+                 const std::string &tool,
+                 const std::vector<SweepJob> &prepared)
+{
+    FrameSender sender(fd);
+    const std::string grid = sweepGridFingerprint(prepared);
+
+    HelloMessage hello;
+    hello.role = "worker";
+    hello.tool = tool;
+    hello.gitDescribe = std::string(buildGitDescribe());
+    hello.grid = grid;
+    hello.runs = prepared.size();
+    if (!sender.send(encode(hello))) {
+        warn("campaign worker: coordinator hung up during handshake");
+        ::close(fd);
+        return 1;
+    }
+
+    int exitCode = 1;
+    try {
+        // The coordinator's first frame is its own HELLO (acceptance)
+        // or a BYE naming why we were refused.
+        std::optional<std::string> frame = readFrame(fd);
+        if (!frame)
+            throw ProtocolError("coordinator closed before HELLO");
+        Message reply = decodeMessage(*frame);
+        if (const auto *bye = std::get_if<ByeMessage>(&reply)) {
+            warn("campaign worker refused by coordinator: " +
+                 (bye->reason.empty() ? std::string("(no reason)")
+                                      : bye->reason));
+            ::close(fd);
+            return 1;
+        }
+        const auto *ack = std::get_if<HelloMessage>(&reply);
+        if (!ack) {
+            throw ProtocolError(
+                "expected HELLO or BYE from coordinator, got " +
+                std::string(messageTypeName(reply)));
+        }
+        if (ack->protocol != kProtocolVersion) {
+            throw ProtocolError(
+                "coordinator speaks protocol " +
+                std::to_string(ack->protocol) + ", this worker speaks " +
+                std::to_string(kProtocolVersion));
+        }
+        if (ack->grid != grid) {
+            throw ProtocolError(
+                "coordinator grid fingerprint " + ack->grid +
+                " != local " + grid +
+                " (command lines or binaries differ)");
+        }
+
+        // Same execution stack as a single-process sweep: thread
+        // pool, retries, lockstep batching, warmup snapshot cache.
+        SweepRunner runner(args.jobs, args.retries);
+        runner.enableLockstep(args.lockstep);
+        std::unique_ptr<WarmupSnapshotCache> cache;
+        if (args.snapshotCache) {
+            cache = std::make_unique<WarmupSnapshotCache>(
+                args.snapshotDir);
+            runner.enableWarmupSnapshots(*cache);
+        }
+
+        std::atomic<std::uint64_t> done{0};
+        std::atomic<std::uint64_t> inFlight{0};
+        HeartbeatThread heartbeat(sender, args.campaignHeartbeat, done,
+                                  inFlight);
+
+        inform("campaign worker joined: " + std::to_string(
+                   prepared.size()) + " runs in grid " + grid);
+
+        for (;;) {
+            frame = readFrame(fd);
+            if (!frame) {
+                warn("campaign worker: coordinator vanished without "
+                     "BYE");
+                break;
+            }
+            Message msg = decodeMessage(*frame);
+            if (const auto *bye = std::get_if<ByeMessage>(&msg)) {
+                sender.send(encode(ByeMessage{"complete"}));
+                inform("campaign worker done: " +
+                       std::to_string(done.load()) + " runs (" +
+                       (bye->reason.empty() ? std::string("no reason")
+                                            : bye->reason) + ")");
+                exitCode = 0;
+                break;
+            }
+            const auto *assign = std::get_if<AssignMessage>(&msg);
+            if (!assign) {
+                throw ProtocolError(
+                    "expected ASSIGN or BYE, got " +
+                    std::string(messageTypeName(msg)));
+            }
+
+            // Cross-check every leased run against the local grid
+            // before touching it: the fingerprints already matched in
+            // HELLO, so a mismatch here is a corrupt or confused
+            // coordinator, not a configuration drift.
+            std::vector<SweepJob> lease;
+            std::vector<std::uint64_t> leaseIndex;
+            lease.reserve(assign->runs.size());
+            for (const AssignedRun &run : assign->runs) {
+                if (run.index >= prepared.size()) {
+                    throw ProtocolError(
+                        "assigned run index " +
+                        std::to_string(run.index) +
+                        " outside grid of " +
+                        std::to_string(prepared.size()));
+                }
+                const SweepJob &job = prepared[run.index];
+                if (job.id != run.id ||
+                    configFingerprint(job.options) != run.fingerprint) {
+                    throw ProtocolError(
+                        "assigned run " + std::to_string(run.index) +
+                        " (" + run.id + ") does not match local grid "
+                        "entry " + job.id);
+                }
+                lease.push_back(job);
+                leaseIndex.push_back(run.index);
+            }
+            if (lease.empty())
+                continue;
+
+            inFlight.store(lease.size());
+            bool sendFailed = false;
+            runner.run(lease, [&](std::size_t i,
+                                  const SweepOutcome &outcome) {
+                OutcomeMessage out;
+                out.index = leaseIndex[i];
+                out.outcome = outcome;
+                if (!sender.send(encode(out)))
+                    sendFailed = true;
+                done.fetch_add(1);
+                inFlight.fetch_sub(1);
+            });
+            if (sendFailed) {
+                warn("campaign worker: coordinator vanished "
+                     "mid-lease");
+                break;
+            }
+        }
+        heartbeat.stop();
+    } catch (const ProtocolError &e) {
+        warn(std::string("campaign worker protocol error: ") +
+             e.what());
+        sender.send(encode(ByeMessage{e.what()}));
+        exitCode = 1;
+    }
+    ::close(fd);
+    return exitCode;
+}
+
+int
+runWorker(const ExperimentArgs &args, const std::string &tool,
+          const std::vector<SweepJob> &jobs)
+{
+    const net::HostPort addr = net::parseHostPort(args.campaignConnect);
+    inform("campaign worker connecting to " + addr.host + ":" +
+           addr.port);
+    const int fd = net::connectTo(addr);
+    return serveCoordinator(fd, args, tool,
+                            prepareSweepJobs(args, jobs));
+}
+
+} // namespace campaign
+} // namespace vsv

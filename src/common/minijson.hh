@@ -30,8 +30,19 @@ namespace minijson
 
 struct Value;
 using Array = std::vector<Value>;
+/** Object members, sorted by key (std::map) - write() emits them in
+ *  this order, so serialization is deterministic by construction. */
 using Object = std::map<std::string, Value>;
 
+/**
+ * One parsed JSON value: null, bool, number, string, array, or
+ * object. Numbers are always double (RFC 8259 does not distinguish
+ * integers); integers up to 2^53 round-trip exactly. The is*()
+ * predicates never throw; the accessors (object()/array()/str()/
+ * num()/at()) throw std::bad_variant_access or std::runtime_error on
+ * a type mismatch, so a document of the wrong shape fails loudly at
+ * the point of use.
+ */
 struct Value
 {
     std::variant<std::nullptr_t, bool, double, std::string, Array,
@@ -62,6 +73,7 @@ struct Value
         return it->second;
     }
 
+    /** True iff this is an object with member `key` (never throws). */
     bool
     has(const std::string &key) const
     {
@@ -69,6 +81,14 @@ struct Value
     }
 };
 
+/**
+ * The recursive-descent parser behind parse(). Accepts exactly one
+ * RFC 8259 value followed by optional whitespace; anything else -
+ * trailing content, comments, unquoted keys, leading '+', NaN/Inf
+ * literals, raw control characters, non-ASCII \\u escapes - throws
+ * std::runtime_error naming the byte offset. Construct with the text
+ * (kept by reference; must outlive the Parser) and call parse() once.
+ */
 class Parser
 {
   public:
@@ -301,6 +321,13 @@ class Parser
     std::size_t pos = 0;
 };
 
+/**
+ * Parse one complete JSON document; throws std::runtime_error (with
+ * the byte offset of the first deviation) on anything that is not
+ * exactly RFC 8259. This is the read half of the pair; write() below
+ * is the inverse, and write(parse(x)) is canonical: stable key order,
+ * %.17g numbers, minimal escapes.
+ */
 inline Value
 parse(const std::string &text)
 {

@@ -55,6 +55,30 @@ parseExperimentArgs(int argc, char **argv,
         fatal("--snapshot-dir requires the snapshot cache "
               "(drop --no-snapshot-cache)");
     }
+    // Distributed-campaign roles (CAMPAIGNS.md). Parsed here so every
+    // sweep binary shares one flag surface; interpreted by
+    // src/campaign (runCampaignSweep). A worker cannot also listen or
+    // fork workers - roles are per-process by design.
+    args.campaignListen = args.config.getString("campaign-listen", "");
+    args.campaignConnect =
+        args.config.getString("campaign-connect", "");
+    args.campaignWorkers = static_cast<unsigned>(
+        args.config.getUInt("campaign-workers", 0));
+    args.campaignChunk = static_cast<unsigned>(
+        args.config.getUInt("campaign-chunk", 16));
+    args.campaignHeartbeat =
+        args.config.getDouble("campaign-heartbeat", 2.0);
+    if (!args.campaignConnect.empty() &&
+        (!args.campaignListen.empty() || args.campaignWorkers > 0)) {
+        fatal("--campaign-connect (worker role) conflicts with "
+              "--campaign-listen/--campaign-workers (coordinator "
+              "role)");
+    }
+    if (args.campaignChunk == 0)
+        fatal("--campaign-chunk must be >= 1");
+    if (args.campaignHeartbeat < 0.0)
+        fatal("--campaign-heartbeat must be >= 0");
+
     args.cores =
         static_cast<std::uint32_t>(args.config.getUInt("cores", 1));
     if (args.cores < 1 || args.cores > 64)
@@ -148,14 +172,113 @@ summarizeRepeats(std::vector<double> seconds)
     return timing;
 }
 
+std::vector<SweepJob>
+prepareSweepJobs(const ExperimentArgs &args,
+                 const std::vector<SweepJob> &jobs)
+{
+    // A shared --trace-out base would make concurrent runs clobber
+    // one file; give each run its own path, derived from its id.
+    std::vector<SweepJob> prepared = jobs;
+    if (!args.traceOut.empty() && jobs.size() > 1) {
+        for (SweepJob &job : prepared) {
+            job.options.trace.path =
+                traceOutPathForRun(args.traceOut, job.id);
+        }
+    }
+    if (args.timeoutSeconds > 0.0) {
+        for (SweepJob &job : prepared)
+            job.softTimeoutSeconds = args.timeoutSeconds;
+    }
+    return prepared;
+}
+
 std::vector<SweepOutcome>
-runSweep(const ExperimentArgs &args, const std::string &tool,
-         const std::vector<SweepJob> &jobs)
+runSweepWith(const ExperimentArgs &args, const std::string &tool,
+             const std::vector<SweepJob> &jobs,
+             const SweepExecutor &execute,
+             const std::function<void(SweepManifest &)> &amendManifest)
 {
     // Every binary has read its extra keys by now; anything still
     // unqueried is a typo the user should hear about before hours of
     // simulation, not after.
     args.config.rejectUnknown(tool);
+
+    const std::vector<SweepJob> prepared =
+        prepareSweepJobs(args, jobs);
+
+    // --resume: carry forward runs the prior manifest already
+    // completed (same id AND same configuration fingerprint) and only
+    // execute the rest.
+    std::vector<SweepOutcome> outcomes(prepared.size());
+    std::vector<std::size_t> pendingSlot;
+    if (!args.resumePath.empty()) {
+        const SweepResume resume = SweepResume::load(args.resumePath);
+        std::size_t carried = 0;
+        for (std::size_t i = 0; i < prepared.size(); ++i) {
+            const std::string fingerprint =
+                configFingerprint(prepared[i].options);
+            if (const SweepOutcome *prior =
+                    resume.completed(prepared[i].id, fingerprint)) {
+                outcomes[i] = *prior;
+                ++carried;
+            } else {
+                pendingSlot.push_back(i);
+            }
+        }
+        inform("--resume " + args.resumePath + ": carrying forward " +
+               std::to_string(carried) + "/" +
+               std::to_string(prepared.size()) + " runs, executing " +
+               std::to_string(pendingSlot.size()));
+    } else {
+        pendingSlot.resize(prepared.size());
+        for (std::size_t i = 0; i < prepared.size(); ++i)
+            pendingSlot[i] = i;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<SweepOutcome> executed =
+        execute(prepared, pendingSlot);
+    VSV_ASSERT(executed.size() == pendingSlot.size(),
+               "sweep executor returned the wrong outcome count");
+    for (std::size_t i = 0; i < executed.size(); ++i)
+        outcomes[pendingSlot[i]] = executed[i];
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    if (!args.jsonPath.empty()) {
+        SweepManifest manifest;
+        manifest.tool = tool;
+        manifest.seed = args.seed;
+        manifest.wallSeconds = wall_seconds;
+        manifest.config = args.config.items();
+        if (amendManifest)
+            amendManifest(manifest);
+
+        std::ofstream os(args.jsonPath);
+        if (!os)
+            fatal("cannot open --json output file: " + args.jsonPath);
+        writeSweepJson(os, manifest, outcomes);
+        inform("wrote " + std::to_string(outcomes.size()) +
+               " runs to " + args.jsonPath);
+    }
+    return outcomes;
+}
+
+std::vector<SweepOutcome>
+runSweep(const ExperimentArgs &args, const std::string &tool,
+         const std::vector<SweepJob> &jobs)
+{
+    // The in-process path cannot honour a campaign role; a binary
+    // that supports distribution routes through runCampaignSweep
+    // (src/campaign), which falls back here when no role was asked
+    // for. Failing loudly beats silently running everything locally.
+    if (args.campaignRequested()) {
+        fatal(tool + " runs sweeps in-process only; the --campaign-* "
+              "flags need a campaign-enabled binary (see "
+              "CAMPAIGNS.md)");
+    }
 
     SweepRunner runner(args.jobs, args.retries);
     // Lockstep batching: structurally identical configs share one
@@ -174,80 +297,22 @@ runSweep(const ExperimentArgs &args, const std::string &tool,
         runner.enableWarmupSnapshots(*cache);
     }
 
-    // A shared --trace-out base would make concurrent runs clobber
-    // one file; give each run its own path, derived from its id.
-    std::vector<SweepJob> prepared = jobs;
-    if (!args.traceOut.empty() && jobs.size() > 1) {
-        for (SweepJob &job : prepared) {
-            job.options.trace.path =
-                traceOutPathForRun(args.traceOut, job.id);
-        }
-    }
-    if (args.timeoutSeconds > 0.0) {
-        for (SweepJob &job : prepared)
-            job.softTimeoutSeconds = args.timeoutSeconds;
-    }
-
-    // --resume: carry forward runs the prior manifest already
-    // completed (same id AND same configuration fingerprint) and only
-    // execute the rest.
-    std::vector<SweepOutcome> outcomes(prepared.size());
-    std::vector<SweepJob> pending;
-    std::vector<std::size_t> pendingSlot;
-    if (!args.resumePath.empty()) {
-        const SweepResume resume = SweepResume::load(args.resumePath);
-        std::size_t carried = 0;
-        for (std::size_t i = 0; i < prepared.size(); ++i) {
-            const std::string fingerprint =
-                configFingerprint(prepared[i].options);
-            if (const SweepOutcome *prior =
-                    resume.completed(prepared[i].id, fingerprint)) {
-                outcomes[i] = *prior;
-                ++carried;
-            } else {
-                pending.push_back(prepared[i]);
-                pendingSlot.push_back(i);
-            }
-        }
-        inform("--resume " + args.resumePath + ": carrying forward " +
-               std::to_string(carried) + "/" +
-               std::to_string(prepared.size()) + " runs, executing " +
-               std::to_string(pending.size()));
-    } else {
-        pending = prepared;
-        pendingSlot.resize(prepared.size());
-        for (std::size_t i = 0; i < prepared.size(); ++i)
-            pendingSlot[i] = i;
-    }
-
-    const auto start = std::chrono::steady_clock::now();
-    const std::vector<SweepOutcome> executed = runner.run(pending);
-    for (std::size_t i = 0; i < executed.size(); ++i)
-        outcomes[pendingSlot[i]] = executed[i];
-    const double wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-
-    if (!args.jsonPath.empty()) {
-        SweepManifest manifest;
-        manifest.tool = tool;
-        manifest.seed = args.seed;
+    const auto execute =
+        [&runner](const std::vector<SweepJob> &prepared,
+                  const std::vector<std::size_t> &pendingSlots) {
+            std::vector<SweepJob> pending;
+            pending.reserve(pendingSlots.size());
+            for (const std::size_t slot : pendingSlots)
+                pending.push_back(prepared[slot]);
+            return runner.run(pending);
+        };
+    const auto amend = [&runner, &cache](SweepManifest &manifest) {
         manifest.threads = runner.threads();
-        manifest.wallSeconds = wall_seconds;
         if (cache)
             manifest.snapshotCache = cache->stats();
         manifest.lockstep = runner.lockstepStats();
-        manifest.config = args.config.items();
-
-        std::ofstream os(args.jsonPath);
-        if (!os)
-            fatal("cannot open --json output file: " + args.jsonPath);
-        writeSweepJson(os, manifest, outcomes);
-        inform("wrote " + std::to_string(outcomes.size()) +
-               " runs to " + args.jsonPath);
-    }
-    return outcomes;
+    };
+    return runSweepWith(args, tool, jobs, execute, amend);
 }
 
 std::size_t

@@ -47,6 +47,21 @@ sweepStatusName(SweepStatus status)
     return "unknown";
 }
 
+SweepStatus
+sweepStatusFromName(std::string_view name)
+{
+    if (name == "ok")
+        return SweepStatus::Ok;
+    if (name == "error")
+        return SweepStatus::Error;
+    if (name == "timeout")
+        return SweepStatus::Timeout;
+    if (name == "skipped")
+        return SweepStatus::Skipped;
+    throw std::runtime_error("unknown sweep status: " +
+                             std::string(name));
+}
+
 SweepRunner::SweepRunner(unsigned jobs, unsigned retries)
     : threads_(jobs), retries_(retries)
 {
@@ -154,6 +169,13 @@ SweepRunner::runWithRetries(const SweepJob &job) const
 std::vector<SweepOutcome>
 SweepRunner::run(const std::vector<SweepJob> &jobs)
 {
+    return run(jobs, OutcomeCallback{});
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob> &jobs,
+                 const OutcomeCallback &onOutcome)
+{
     std::vector<SweepOutcome> outcomes(jobs.size());
     lockstepStats_ = LockstepStats{};
     lockstepStats_.enabled = lockstepMax_ >= 2;
@@ -188,8 +210,12 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
     // submission slot, so the result vector is schedule-independent.
     std::atomic<std::size_t> next{0};
     std::atomic<std::uint64_t> fallbacks{0};
-    auto worker = [this, &jobs, &tasks, &outcomes, &next,
-                   &fallbacks]() {
+    auto worker = [this, &jobs, &tasks, &outcomes, &next, &fallbacks,
+                   &onOutcome]() {
+        const auto finished = [&](std::size_t i) {
+            if (onOutcome)
+                onOutcome(i, outcomes[i]);
+        };
         for (;;) {
             const std::size_t t =
                 next.fetch_add(1, std::memory_order_relaxed);
@@ -198,6 +224,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
             const std::vector<std::size_t> &members = tasks[t].members;
             if (members.size() == 1) {
                 outcomes[members[0]] = runWithRetries(jobs[members[0]]);
+                finished(members[0]);
                 continue;
             }
             // A batch failure (including the simulator's lockstep
@@ -223,6 +250,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
                 for (const std::size_t i : members)
                     outcomes[i] = runWithRetries(jobs[i]);
             }
+            for (const std::size_t i : members)
+                finished(i);
         }
     };
 
@@ -447,17 +476,28 @@ warmupFingerprint(const SimulationOptions &o)
     return fingerprintHash(s.str());
 }
 
+std::string
+sweepGridFingerprint(const std::vector<SweepJob> &jobs)
+{
+    // Ids cannot contain '|' by convention ('/' separates the parts),
+    // and each entry is terminated, so differently-split grids cannot
+    // collide. The per-job configFingerprint already pins every
+    // result-determining knob; the id pins the index assignment.
+    std::ostringstream s;
+    s << "grid-v1|" << jobs.size() << '|';
+    for (const SweepJob &job : jobs)
+        s << job.id << '|' << configFingerprint(job.options) << '|';
+    return fingerprintHash(s.str());
+}
+
 std::string_view
 buildGitDescribe()
 {
     return VSV_GIT_DESCRIBE;
 }
 
-namespace
-{
-
 void
-writeResultJson(std::ostream &os, const SimulationResult &r)
+writeSimulationResultJson(std::ostream &os, const SimulationResult &r)
 {
     os << "{\"benchmark\":\"" << jsonEscape(r.benchmark) << '"'
        << ",\"instructions\":" << r.instructions
@@ -501,8 +541,6 @@ writeResultJson(std::ostream &os, const SimulationResult &r)
        << "}}";
 }
 
-} // namespace
-
 void
 writeSweepJson(std::ostream &os, const SweepManifest &manifest,
                const std::vector<SweepOutcome> &outcomes)
@@ -539,7 +577,23 @@ writeSweepJson(std::ostream &os, const SweepManifest &manifest,
             first_reason = false;
         }
     }
-    os << "}},\"config\":{";
+    os << "}}";
+    // Campaign counters appear only for distributed runs, so a
+    // single-process manifest stays byte-identical to what earlier
+    // versions wrote (and to what a campaign of the same grid merges,
+    // apart from this block and the host-dependent fields above).
+    if (manifest.campaign.enabled) {
+        os << ",\"campaign\":{"
+           << "\"enabled\":true"
+           << ",\"localWorkers\":" << manifest.campaign.localWorkers
+           << ",\"workersJoined\":" << manifest.campaign.workersJoined
+           << ",\"deaths\":" << manifest.campaign.deaths
+           << ",\"requeuedRuns\":" << manifest.campaign.requeuedRuns
+           << ",\"abandonedRuns\":" << manifest.campaign.abandonedRuns
+           << ",\"protocolErrors\":" << manifest.campaign.protocolErrors
+           << '}';
+    }
+    os << ",\"config\":{";
     bool first = true;
     for (const auto &[key, value] : manifest.config) {
         os << (first ? "" : ",") << '"' << jsonEscape(key) << "\":\""
@@ -559,7 +613,7 @@ writeSweepJson(std::ostream &os, const SweepManifest &manifest,
             os << '"' << jsonEscape(outcome.error) << '"';
         os << ",\"result\":";
         if (outcome.ok())
-            writeResultJson(os, outcome.result);
+            writeSimulationResultJson(os, outcome.result);
         else
             os << "null";
         // statsJson is already a complete JSON object.
@@ -583,8 +637,10 @@ numberOrZero(const minijson::Value &v)
     return v.isNumber() ? v.num() : 0.0;
 }
 
+} // namespace
+
 SimulationResult
-parseResult(const minijson::Value &r)
+parseSimulationResultJson(const minijson::Value &r)
 {
     SimulationResult out;
     out.benchmark = r.at("benchmark").str();
@@ -632,7 +688,16 @@ parseResult(const minijson::Value &r)
     return out;
 }
 
-} // namespace
+std::map<std::string, double>
+parseScalarsFromStats(const minijson::Value &stats)
+{
+    std::map<std::string, double> scalars;
+    if (!stats.has("scalars") || !stats.at("scalars").isObject())
+        return scalars;
+    for (const auto &[name, value] : stats.at("scalars").object())
+        scalars.emplace(name, numberOrZero(value));
+    return scalars;
+}
 
 SweepResume
 SweepResume::load(const std::string &path)
@@ -663,17 +728,13 @@ SweepResume::load(const std::string &path)
             outcome.status = SweepStatus::Skipped;
             outcome.attempts = 0;
             outcome.fingerprint = run.at("fingerprint").str();
-            if (run.has("result") && run.at("result").isObject())
-                outcome.result = parseResult(run.at("result"));
+            if (run.has("result") && run.at("result").isObject()) {
+                outcome.result =
+                    parseSimulationResultJson(run.at("result"));
+            }
             if (run.has("stats") && run.at("stats").isObject()) {
                 const minijson::Value &stats = run.at("stats");
-                if (stats.has("scalars")) {
-                    for (const auto &[name, value] :
-                         stats.at("scalars").object()) {
-                        outcome.scalars.emplace(name,
-                                                numberOrZero(value));
-                    }
-                }
+                outcome.scalars = parseScalarsFromStats(stats);
                 std::ostringstream json;
                 minijson::write(json, stats);
                 outcome.statsJson = json.str();

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * End-to-end campaign tests (CAMPAIGNS.md): a 2-worker local campaign
+ * must write a merged manifest whose runs are byte-identical to a
+ * single-process sweep of the same grid (modulo the excluded
+ * throughput block) - including when one worker is SIGKILLed
+ * mid-campaign - and a TCP worker must interoperate with the same
+ * coordinator loop.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hh"
+#include "campaign/coordinator.hh"
+#include "campaign/net.hh"
+#include "campaign/worker.hh"
+#include "common/minijson.hh"
+#include "harness/experiment.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+/** The Figure 4 shape in miniature: three configs per benchmark. */
+std::vector<SweepJob>
+tinyGrid(const std::vector<std::string> &benchmarks)
+{
+    std::vector<SweepJob> jobs;
+    for (const std::string &name : benchmarks) {
+        SimulationOptions base = makeOptions(name, false, 8000, 3000);
+        jobs.push_back({name + "/base", base});
+
+        SimulationOptions no_fsm = base;
+        no_fsm.vsv = noFsmVsvConfig();
+        jobs.push_back({name + "/no-fsm", no_fsm});
+
+        SimulationOptions with_fsm = base;
+        with_fsm.vsv = fsmVsvConfig();
+        jobs.push_back({name + "/fsm", with_fsm});
+    }
+    return jobs;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/**
+ * The per-run section of a sweep document with every (host-dependent)
+ * throughput block removed - the unit the byte-identity contract is
+ * stated over. The manifest block legitimately differs (wallSeconds,
+ * threads, campaign counters), the runs must not.
+ */
+std::string
+comparableRuns(const std::string &path)
+{
+    std::string text = slurp(path);
+    const std::size_t runs = text.find("\"runs\":");
+    EXPECT_NE(runs, std::string::npos) << path;
+    text = text.substr(runs);
+    // The throughput block is flat ({...} with no nested braces), so
+    // a find/erase pair removes it exactly.
+    std::size_t at;
+    while ((at = text.find(",\"throughput\":{")) != std::string::npos) {
+        const std::size_t end = text.find('}', at);
+        EXPECT_NE(end, std::string::npos);
+        text.erase(at, end - at + 1);
+    }
+    return text;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+} // namespace
+
+TEST(CampaignEquivalence, LocalWorkersMatchSerialAfterSigkill)
+{
+    const std::vector<SweepJob> jobs = tinyGrid({"mcf", "gzip"});
+
+    // Reference: plain single-process sweep.
+    ExperimentArgs serial;
+    serial.jobs = 1;
+    serial.jsonPath = tempPath("campaign_serial.json");
+    const std::vector<SweepOutcome> serialOutcomes =
+        runSweep(serial, "campaign_test", jobs);
+    ASSERT_EQ(serialOutcomes.size(), jobs.size());
+
+    // Distributed: two forked workers, small leases so both get work,
+    // and one worker SIGKILLed as soon as the first outcome lands.
+    // --retries=1 grants every run one re-queue after a worker death.
+    ExperimentArgs camp;
+    camp.jobs = 1;
+    camp.retries = 1;
+    camp.campaignWorkers = 2;
+    camp.campaignChunk = 2;
+    camp.jsonPath = tempPath("campaign_merged.json");
+
+    std::atomic<bool> killed{false};
+    const auto arm = [&killed](campaign::Coordinator &coordinator) {
+        ASSERT_EQ(coordinator.localWorkerPids().size(), 2u);
+        const pid_t victim = coordinator.localWorkerPids()[0];
+        coordinator.setOutcomeHook(
+            [victim, &killed](std::uint64_t, const SweepOutcome &) {
+                if (!killed.exchange(true))
+                    ::kill(victim, SIGKILL);
+            });
+    };
+    const std::vector<SweepOutcome> campOutcomes =
+        campaign::runCampaignSweep(camp, "campaign_test", jobs, arm);
+    ASSERT_EQ(campOutcomes.size(), jobs.size());
+    EXPECT_TRUE(killed.load());
+
+    // Every run completed despite the death...
+    for (const SweepOutcome &outcome : campOutcomes)
+        EXPECT_TRUE(outcome.ok()) << outcome.id << ": " << outcome.error;
+
+    // ...the merged runs are byte-identical to the serial export...
+    EXPECT_EQ(comparableRuns(serial.jsonPath),
+              comparableRuns(camp.jsonPath));
+
+    // ...and the manifest's campaign block accounts for the death.
+    const minijson::Value doc = minijson::parse(slurp(camp.jsonPath));
+    const minijson::Value &stats = doc.at("manifest").at("campaign");
+    EXPECT_TRUE(std::get<bool>(stats.at("enabled").v));
+    EXPECT_EQ(stats.at("localWorkers").num(), 2.0);
+    EXPECT_GE(stats.at("workersJoined").num(), 2.0);
+    EXPECT_GE(stats.at("deaths").num(), 1.0);
+    EXPECT_GE(stats.at("requeuedRuns").num(), 1.0);
+    EXPECT_EQ(stats.at("abandonedRuns").num(), 0.0);
+
+    // The serial manifest must NOT have grown a campaign block:
+    // pre-campaign consumers see unchanged bytes.
+    const minijson::Value serialDoc =
+        minijson::parse(slurp(serial.jsonPath));
+    EXPECT_FALSE(serialDoc.at("manifest").has("campaign"));
+
+    std::remove(serial.jsonPath.c_str());
+    std::remove(camp.jsonPath.c_str());
+}
+
+TEST(CampaignEquivalence, TcpWorkerMatchesSerial)
+{
+    const std::vector<SweepJob> jobs = tinyGrid({"mcf"});
+
+    ExperimentArgs serial;
+    serial.jobs = 1;
+    serial.jsonPath = tempPath("campaign_tcp_serial.json");
+    runSweep(serial, "campaign_test", jobs);
+
+    // Coordinator listens on an ephemeral loopback port; the "remote"
+    // worker runs serveCoordinator over a real TCP connection from a
+    // thread of this process.
+    ExperimentArgs camp;
+    camp.jobs = 1;
+    camp.campaignListen = "127.0.0.1:0";
+    camp.campaignChunk = 1;
+    camp.jsonPath = tempPath("campaign_tcp_merged.json");
+
+    std::thread workerThread;
+    const auto attach = [&](campaign::Coordinator &coordinator) {
+        const std::uint16_t port = coordinator.listenPort();
+        ASSERT_NE(port, 0);
+        workerThread = std::thread([port, &camp, &jobs] {
+            const int fd = campaign::net::connectTo(
+                {"127.0.0.1", std::to_string(port)});
+            campaign::serveCoordinator(fd, camp, "campaign_test",
+                                       prepareSweepJobs(camp, jobs));
+        });
+    };
+    const std::vector<SweepOutcome> outcomes =
+        campaign::runCampaignSweep(camp, "campaign_test", jobs, attach);
+    workerThread.join();
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (const SweepOutcome &outcome : outcomes)
+        EXPECT_TRUE(outcome.ok()) << outcome.id << ": " << outcome.error;
+    EXPECT_EQ(comparableRuns(serial.jsonPath),
+              comparableRuns(camp.jsonPath));
+
+    std::remove(serial.jsonPath.c_str());
+    std::remove(camp.jsonPath.c_str());
+}
+
+TEST(CampaignEquivalence, DriftedWorkerIsRefused)
+{
+    const std::vector<SweepJob> jobs = tinyGrid({"mcf"});
+    // A worker built over a *different* grid (drifted command line)
+    // must be refused by the HELLO fingerprint check and the campaign
+    // must still finish off the back of the healthy worker.
+    const std::vector<SweepJob> drifted = tinyGrid({"gzip"});
+
+    ExperimentArgs camp;
+    camp.jobs = 1;
+    camp.campaignListen = "127.0.0.1:0";
+    camp.jsonPath = tempPath("campaign_drift.json");
+
+    // The campaign cannot complete before the healthy worker serves
+    // every run, and the drifted worker's handshake (pure message
+    // exchange) resolves long before that - so the refusal is always
+    // observed in the merged manifest.
+    std::thread driftedThread, healthyThread;
+    const auto attach = [&](campaign::Coordinator &coordinator) {
+        const std::uint16_t port = coordinator.listenPort();
+        driftedThread = std::thread([port, &camp, &drifted] {
+            const int fd = campaign::net::connectTo(
+                {"127.0.0.1", std::to_string(port)});
+            // Returns nonzero: refused before any assignment.
+            EXPECT_NE(campaign::serveCoordinator(
+                          fd, camp, "campaign_test",
+                          prepareSweepJobs(camp, drifted)),
+                      0);
+        });
+        healthyThread = std::thread([port, &camp, &jobs] {
+            const int fd = campaign::net::connectTo(
+                {"127.0.0.1", std::to_string(port)});
+            campaign::serveCoordinator(fd, camp, "campaign_test",
+                                       prepareSweepJobs(camp, jobs));
+        });
+    };
+    const std::vector<SweepOutcome> outcomes =
+        campaign::runCampaignSweep(camp, "campaign_test", jobs, attach);
+    driftedThread.join();
+    healthyThread.join();
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (const SweepOutcome &outcome : outcomes)
+        EXPECT_TRUE(outcome.ok());
+
+    const minijson::Value doc = minijson::parse(slurp(camp.jsonPath));
+    EXPECT_GE(doc.at("manifest").at("campaign").at("protocolErrors")
+                  .num(),
+              1.0);
+    std::remove(camp.jsonPath.c_str());
+}

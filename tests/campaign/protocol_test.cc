@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Unit tests for the campaign wire protocol (src/campaign/protocol):
+ * frame encode/decode round trips, the truncated/oversized/garbage
+ * frame failure modes CAMPAIGNS.md specifies, and the five message
+ * codecs - including a full OUTCOME round trip and the non-finite
+ * result number -> null rule inherited from the manifest writer.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "campaign/protocol.hh"
+#include "common/minijson.hh"
+#include "harness/sweep.hh"
+
+using namespace vsv;
+using namespace vsv::campaign;
+
+namespace
+{
+
+/** Feed a byte string through a FrameReader in one gulp. */
+std::vector<std::string>
+drain(FrameReader &reader, const std::string &bytes)
+{
+    reader.feed(bytes.data(), bytes.size());
+    std::vector<std::string> out;
+    while (auto payload = reader.next())
+        out.push_back(*payload);
+    return out;
+}
+
+} // namespace
+
+TEST(CampaignFraming, RoundTrip)
+{
+    const std::string payload = "{\"type\":\"heartbeat\"}";
+    const std::string frame = encodeFrame(payload);
+    ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+    // Big-endian length header.
+    EXPECT_EQ(static_cast<unsigned char>(frame[0]), 0u);
+    EXPECT_EQ(static_cast<unsigned char>(frame[3]), payload.size());
+
+    FrameReader reader;
+    const auto frames = drain(reader, frame + frame);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0], payload);
+    EXPECT_EQ(frames[1], payload);
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(CampaignFraming, TruncatedFrameStaysBuffered)
+{
+    // A partial frame is not an error - the other half may still be
+    // in flight. It simply stays buffered until the bytes arrive.
+    const std::string frame = encodeFrame("{\"a\":1}");
+    FrameReader reader;
+    reader.feed(frame.data(), frame.size() - 3);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.buffered(), frame.size() - 3);
+    reader.feed(frame.data() + frame.size() - 3, 3);
+    const auto payload = reader.next();
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(*payload, "{\"a\":1}");
+}
+
+TEST(CampaignFraming, ByteAtATime)
+{
+    const std::string frame = encodeFrame(encode(HeartbeatMessage{3, 4}));
+    FrameReader reader;
+    for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+        reader.feed(&frame[i], 1);
+        EXPECT_FALSE(reader.next().has_value());
+    }
+    reader.feed(&frame[frame.size() - 1], 1);
+    EXPECT_TRUE(reader.next().has_value());
+}
+
+TEST(CampaignFraming, ZeroLengthIsProtocolError)
+{
+    EXPECT_THROW(encodeFrame(""), ProtocolError);
+    FrameReader reader;
+    const std::string zeros(kFrameHeaderBytes, '\0');
+    reader.feed(zeros.data(), zeros.size());
+    EXPECT_THROW(reader.next(), ProtocolError);
+}
+
+TEST(CampaignFraming, OversizedHeaderIsProtocolError)
+{
+    // 0xffffffff claimed payload bytes: reject from the header alone,
+    // before any allocation.
+    FrameReader reader;
+    const std::string huge(kFrameHeaderBytes, '\xff');
+    reader.feed(huge.data(), huge.size());
+    EXPECT_THROW(reader.next(), ProtocolError);
+
+    EXPECT_THROW(
+        encodeFrame(std::string(kMaxFramePayloadBytes + 1, 'x')),
+        ProtocolError);
+}
+
+TEST(CampaignFraming, GarbagePayloadIsProtocolError)
+{
+    // Framing-valid, JSON-invalid.
+    EXPECT_THROW(decodeMessage("not json at all"), ProtocolError);
+    EXPECT_THROW(decodeMessage("[1,2,3]"), ProtocolError);
+    EXPECT_THROW(decodeMessage("{\"no\":\"type\"}"), ProtocolError);
+    EXPECT_THROW(decodeMessage("{\"type\":\"launch-missiles\"}"),
+                 ProtocolError);
+    // Right type, wrong field shape.
+    EXPECT_THROW(decodeMessage("{\"type\":\"assign\",\"runs\":7}"),
+                 ProtocolError);
+    EXPECT_THROW(decodeMessage("{\"type\":\"outcome\",\"index\":-1,"
+                               "\"run\":{}}"),
+                 ProtocolError);
+}
+
+TEST(CampaignMessages, HelloRoundTrip)
+{
+    HelloMessage m;
+    m.role = "worker";
+    m.tool = "vsvcampaign";
+    m.gitDescribe = "v0-g123";
+    m.grid = "0123456789abcdef";
+    m.runs = 42;
+    const Message decoded = decodeMessage(encode(m));
+    EXPECT_EQ(messageTypeName(decoded), "hello");
+    const auto &h = std::get<HelloMessage>(decoded);
+    EXPECT_EQ(h.protocol, kProtocolVersion);
+    EXPECT_EQ(h.role, "worker");
+    EXPECT_EQ(h.tool, "vsvcampaign");
+    EXPECT_EQ(h.gitDescribe, "v0-g123");
+    EXPECT_EQ(h.grid, "0123456789abcdef");
+    EXPECT_EQ(h.runs, 42u);
+}
+
+TEST(CampaignMessages, AssignRoundTrip)
+{
+    AssignMessage m;
+    m.runs.push_back({7, "mcf/base", "aa"});
+    m.runs.push_back({8, "mcf/fsm", "bb"});
+    const Message decoded = decodeMessage(encode(m));
+    const auto &a = std::get<AssignMessage>(decoded);
+    ASSERT_EQ(a.runs.size(), 2u);
+    EXPECT_EQ(a.runs[0].index, 7u);
+    EXPECT_EQ(a.runs[0].id, "mcf/base");
+    EXPECT_EQ(a.runs[1].fingerprint, "bb");
+
+    const Message decodedEmpty = decodeMessage(encode(AssignMessage{}));
+    EXPECT_TRUE(std::get<AssignMessage>(decodedEmpty).runs.empty());
+}
+
+TEST(CampaignMessages, HeartbeatAndByeRoundTrip)
+{
+    const Message heartbeat =
+        decodeMessage(encode(HeartbeatMessage{11, 5}));
+    const auto &hb = std::get<HeartbeatMessage>(heartbeat);
+    EXPECT_EQ(hb.done, 11u);
+    EXPECT_EQ(hb.inFlight, 5u);
+
+    const Message bye = decodeMessage(encode(ByeMessage{"complete"}));
+    EXPECT_EQ(std::get<ByeMessage>(bye).reason, "complete");
+    const Message silent = decodeMessage(encode(ByeMessage{}));
+    EXPECT_EQ(std::get<ByeMessage>(silent).reason, "");
+}
+
+TEST(CampaignMessages, OutcomeRoundTrip)
+{
+    OutcomeMessage m;
+    m.index = 3;
+    SweepOutcome &o = m.outcome;
+    o.id = "mcf/fsm\"quoted\"";
+    o.status = SweepStatus::Ok;
+    o.attempts = 2;
+    o.fingerprint = "feedbeef";
+    o.result.benchmark = "mcf";
+    o.result.instructions = 8000;
+    o.result.ticks = 12345;
+    o.result.ipc = 1.0 / 3.0;
+    o.result.avgPowerW = 17.25;
+    o.statsJson = "{\"scalars\":{\"sim.ipc\":0.5,\"sim.ticks\":9}}";
+    o.statsText = "sim.ipc 0.5\nsim.ticks 9\n";
+
+    const Message decoded = decodeMessage(encode(m));
+    const auto &d = std::get<OutcomeMessage>(decoded);
+    EXPECT_EQ(d.index, 3u);
+    EXPECT_EQ(d.outcome.id, o.id);
+    EXPECT_EQ(d.outcome.status, SweepStatus::Ok);
+    EXPECT_EQ(d.outcome.attempts, 2u);
+    EXPECT_EQ(d.outcome.fingerprint, "feedbeef");
+    EXPECT_EQ(d.outcome.result.benchmark, "mcf");
+    EXPECT_EQ(d.outcome.result.instructions, 8000u);
+    // Doubles survive the wire bit-exactly (%.17g round trip).
+    EXPECT_EQ(d.outcome.result.ipc, o.result.ipc);
+    EXPECT_EQ(d.outcome.result.avgPowerW, 17.25);
+    // The stats document crosses as opaque bytes...
+    EXPECT_EQ(d.outcome.statsJson, o.statsJson);
+    EXPECT_EQ(d.outcome.statsText, o.statsText);
+    // ...and the scalar map is re-derived from it on arrival.
+    ASSERT_EQ(d.outcome.scalars.count("sim.ipc"), 1u);
+    EXPECT_EQ(d.outcome.scalars.at("sim.ipc"), 0.5);
+}
+
+TEST(CampaignMessages, FailedOutcomeCarriesErrorNotResult)
+{
+    OutcomeMessage m;
+    m.index = 0;
+    m.outcome.id = "mcf/base";
+    m.outcome.status = SweepStatus::Error;
+    m.outcome.error = "fatal: boom";
+    m.outcome.attempts = 3;
+    m.outcome.statsJson = "{\"should\":\"not leak\"}";
+
+    const std::string payload = encode(m);
+    // A failed run writes result/stats as null, exactly like the
+    // manifest does.
+    const minijson::Value doc = minijson::parse(payload);
+    EXPECT_TRUE(std::holds_alternative<std::nullptr_t>(
+        doc.at("run").at("result").v));
+    EXPECT_TRUE(std::holds_alternative<std::nullptr_t>(
+        doc.at("run").at("stats").v));
+
+    const Message decoded = decodeMessage(payload);
+    const auto &d = std::get<OutcomeMessage>(decoded);
+    EXPECT_EQ(d.outcome.status, SweepStatus::Error);
+    EXPECT_EQ(d.outcome.error, "fatal: boom");
+    EXPECT_TRUE(d.outcome.statsJson.empty());
+    EXPECT_TRUE(d.outcome.scalars.empty());
+}
+
+TEST(CampaignMessages, NonFiniteResultNumberBecomesNull)
+{
+    OutcomeMessage m;
+    m.index = 1;
+    m.outcome.id = "mcf/base";
+    m.outcome.status = SweepStatus::Ok;
+    m.outcome.attempts = 1;
+    m.outcome.result.benchmark = "mcf";
+    m.outcome.result.ipc = std::numeric_limits<double>::quiet_NaN();
+    m.outcome.result.avgPowerW =
+        std::numeric_limits<double>::infinity();
+
+    const std::string payload = encode(m);
+    // jsonNumber's rule: non-finite -> null on the wire...
+    EXPECT_EQ(payload.find("nan"), std::string::npos);
+    EXPECT_EQ(payload.find("inf"), std::string::npos);
+    // ...which parses back as 0.0 (parseSimulationResultJson).
+    const Message decoded = decodeMessage(payload);
+    const auto &d = std::get<OutcomeMessage>(decoded);
+    EXPECT_EQ(d.outcome.result.ipc, 0.0);
+    EXPECT_EQ(d.outcome.result.avgPowerW, 0.0);
+}
+
+TEST(CampaignMessages, UnknownStatusIsProtocolError)
+{
+    EXPECT_THROW(
+        decodeMessage("{\"type\":\"outcome\",\"index\":0,\"run\":{"
+                      "\"id\":\"x\",\"fingerprint\":\"f\","
+                      "\"status\":\"mystery\",\"attempts\":1,"
+                      "\"error\":null,\"result\":null,\"stats\":null,"
+                      "\"statsText\":null}}"),
+        ProtocolError);
+}

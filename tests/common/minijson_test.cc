@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the public minijson API (common/minijson.hh): the
+ * strict RFC 8259 parse() contract, the write() serializer, the
+ * round-trip guarantees the sweep manifest and campaign protocol
+ * depend on, and the non-finite-number -> null rule.
+ */
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/minijson.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+std::string
+rewrite(const minijson::Value &v)
+{
+    std::ostringstream os;
+    minijson::write(os, v);
+    return os.str();
+}
+
+} // namespace
+
+TEST(MinijsonParse, Scalars)
+{
+    EXPECT_TRUE(std::holds_alternative<std::nullptr_t>(
+        minijson::parse("null").v));
+    EXPECT_EQ(std::get<bool>(minijson::parse("true").v), true);
+    EXPECT_EQ(std::get<bool>(minijson::parse("false").v), false);
+    EXPECT_DOUBLE_EQ(minijson::parse("-12.5e2").num(), -1250.0);
+    EXPECT_EQ(minijson::parse("\"a\\nb\\u0041\"").str(), "a\nbA");
+}
+
+TEST(MinijsonParse, NestedDocument)
+{
+    const minijson::Value doc = minijson::parse(
+        R"({"runs":[{"id":"mcf/base","ok":true},{"id":"mcf/fsm"}],)"
+        R"("seed":7})");
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_TRUE(doc.has("runs"));
+    ASSERT_TRUE(doc.at("runs").isArray());
+    EXPECT_EQ(doc.at("runs").array().size(), 2u);
+    EXPECT_EQ(doc.at("runs").array()[0].at("id").str(), "mcf/base");
+    EXPECT_DOUBLE_EQ(doc.at("seed").num(), 7.0);
+    EXPECT_FALSE(doc.has("absent"));
+    EXPECT_THROW(doc.at("absent"), std::runtime_error);
+}
+
+TEST(MinijsonParse, RejectsNonRfc8259)
+{
+    // Each deviation must throw, not be half-accepted.
+    EXPECT_THROW(minijson::parse(""), std::runtime_error);
+    EXPECT_THROW(minijson::parse("{\"a\":1,}"), std::runtime_error);
+    EXPECT_THROW(minijson::parse("{a:1}"), std::runtime_error);
+    EXPECT_THROW(minijson::parse("[1,2,]"), std::runtime_error);
+    EXPECT_THROW(minijson::parse("01"), std::runtime_error);
+    EXPECT_THROW(minijson::parse("+1"), std::runtime_error);
+    EXPECT_THROW(minijson::parse("1."), std::runtime_error);
+    EXPECT_THROW(minijson::parse("NaN"), std::runtime_error);
+    EXPECT_THROW(minijson::parse("Infinity"), std::runtime_error);
+    EXPECT_THROW(minijson::parse("\"unterminated"), std::runtime_error);
+    EXPECT_THROW(minijson::parse("\"bad \\x escape\""),
+                 std::runtime_error);
+    EXPECT_THROW(minijson::parse("\"\\u00ff\""), std::runtime_error);
+    EXPECT_THROW(minijson::parse("{} trailing"), std::runtime_error);
+    EXPECT_THROW(minijson::parse("\"raw\ncontrol\""),
+                 std::runtime_error);
+}
+
+TEST(MinijsonParse, ErrorsNameTheByteOffset)
+{
+    try {
+        minijson::parse("{\"a\": zz}");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("at byte"),
+                  std::string::npos);
+    }
+}
+
+TEST(MinijsonWrite, CanonicalForm)
+{
+    // Stable key order (std::map), no whitespace, minimal escapes.
+    const minijson::Value doc =
+        minijson::parse("{ \"b\" : [1, true, null], \"a\": \"x\\ty\" }");
+    EXPECT_EQ(rewrite(doc), "{\"a\":\"x\\ty\",\"b\":[1,true,null]}");
+}
+
+TEST(MinijsonWrite, ControlCharacterEscapes)
+{
+    minijson::Value v;
+    v.v = std::string("bell\x07tab\tnl\n");
+    EXPECT_EQ(rewrite(v), "\"bell\\u0007tab\\tnl\\n\"");
+}
+
+TEST(MinijsonWrite, DoublesRoundTripExactly)
+{
+    // %.17g must reproduce the exact bits after a parse cycle - the
+    // sweep manifest's byte-compatibility (and therefore --resume and
+    // campaign merges) depends on it.
+    const double values[] = {0.0, 1.0 / 3.0, 6.0221407599999999e23,
+                             -2.2250738585072014e-308, 12345.6789,
+                             std::numeric_limits<double>::epsilon()};
+    for (const double d : values) {
+        minijson::Value v;
+        v.v = d;
+        const std::string text = rewrite(v);
+        EXPECT_EQ(minijson::parse(text).num(), d) << text;
+    }
+}
+
+TEST(MinijsonWrite, NonFiniteNumbersBecomeNull)
+{
+    // JSON has no NaN/Inf spelling; the writer's documented rule is
+    // null, which parses back as 0.0 via the manifest readers.
+    for (const double d :
+         {std::numeric_limits<double>::quiet_NaN(),
+          std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()}) {
+        minijson::Value v;
+        v.v = d;
+        EXPECT_EQ(rewrite(v), "null");
+    }
+}
+
+TEST(MinijsonRoundTrip, WriteParseWriteIsStable)
+{
+    const std::string text =
+        R"({"manifest":{"seed":0,"tool":"vsvsim"},"runs":[)"
+        R"({"id":"mcf/base","scalars":{"ipc":0.33333333333333331}}]})";
+    const std::string once = rewrite(minijson::parse(text));
+    const std::string twice = rewrite(minijson::parse(once));
+    EXPECT_EQ(once, twice);
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tier-1 campaign smoke gate (the `campaign_smoke` ctest): a tiny
+ * grid sharded across two forked local workers must come back
+ * complete, in submission order, with stats identical to in-process
+ * execution. The deep checks - SIGKILL mid-campaign, TCP workers,
+ * drifted-grid refusal, manifest byte-identity - live in
+ * tests/campaign/campaign_equivalence_test.cc; this binary is the
+ * fast always-on canary that the coordinator/worker path stays wired
+ * up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/coordinator.hh"
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+
+namespace vsv
+{
+namespace
+{
+
+TEST(CampaignSmoke, TwoLocalWorkersMatchInProcess)
+{
+    SimulationOptions base = makeOptions("mcf", false, 8000, 3000);
+    SimulationOptions fsm = base;
+    fsm.vsv = fsmVsvConfig();
+    SimulationOptions no_fsm = base;
+    no_fsm.vsv = noFsmVsvConfig();
+    const std::vector<SweepJob> jobs{
+        {"mcf/base", base},
+        {"mcf/no-fsm", no_fsm},
+        {"mcf/fsm", fsm},
+    };
+
+    ExperimentArgs serial;
+    serial.jobs = 1;
+    const std::vector<SweepOutcome> want =
+        runSweep(serial, "campaign_smoke", jobs);
+
+    ExperimentArgs camp;
+    camp.jobs = 1;
+    camp.campaignWorkers = 2;
+    camp.campaignChunk = 1;
+    CampaignStats stats;
+    const auto capture = [&stats](campaign::Coordinator &coordinator) {
+        coordinator.setOutcomeHook(
+            [&stats, &coordinator](std::uint64_t,
+                                   const SweepOutcome &) {
+                stats = coordinator.stats();
+            });
+    };
+    const std::vector<SweepOutcome> got = campaign::runCampaignSweep(
+        camp, "campaign_smoke", jobs, capture);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].status, SweepStatus::Ok)
+            << got[i].id << ": " << got[i].error;
+        EXPECT_EQ(got[i].id, want[i].id);
+        EXPECT_EQ(got[i].attempts, want[i].attempts) << got[i].id;
+        EXPECT_EQ(got[i].scalars, want[i].scalars) << got[i].id;
+        EXPECT_EQ(got[i].statsJson, want[i].statsJson) << got[i].id;
+    }
+    EXPECT_TRUE(stats.enabled);
+    EXPECT_EQ(stats.localWorkers, 2u);
+    EXPECT_GE(stats.workersJoined, 1u);
+    EXPECT_EQ(stats.deaths, 0u);
+    EXPECT_EQ(stats.abandonedRuns, 0u);
+}
+
+} // namespace
+} // namespace vsv
