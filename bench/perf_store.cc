@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Result-store throughput baseline: for each benchmark, the Figure 4
+ * characterization grid (baseline, VSV without FSMs, VSV with the
+ * paper's FSMs) swept cold into a fresh --store-dir and then again
+ * against the now-warm store. The warm pass must simulate nothing -
+ * every run is served from the recorded bytes - so its wall time is
+ * the store's read path alone. Prints a comparison table and writes
+ * BENCH_store.json (wall seconds per sweep, per-benchmark and
+ * end-to-end speedups, store counters and on-disk footprint).
+ *
+ * The exit status is nonzero if any cold/warm run pair disagrees on
+ * the simulated statistics - a store hit must be invisible in every
+ * number except wall time - or if the warm pass missed the store even
+ * once.
+ *
+ * Flags: --instructions=N --warmup=N --benchmarks=a,b,c --seed=S
+ *        --out=path (default BENCH_store.json)
+ *        --store-dir=DIR (scratch store root; default <out>.store,
+ *        recreated per cold repeat and removed on exit)
+ *        --repeat=N (time each sweep N times; tables and speedups use
+ *        the minimum wall time, the JSON also records the median)
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "store/store.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+struct BenchResult
+{
+    std::string benchmark;
+    std::vector<SweepOutcome> cold;
+    std::vector<SweepOutcome> warm;
+    double coldSeconds = 0.0;
+    double warmSeconds = 0.0;
+    double medianColdSeconds = 0.0;
+    double medianWarmSeconds = 0.0;
+    store::ResultStoreStats warmStats;
+    bool identical = false;
+    double speedup = 0.0;
+};
+
+/** The Figure 4 shape: three configurations per benchmark. */
+std::vector<SweepJob>
+gridFor(const ExperimentArgs &args, const std::string &bench)
+{
+    std::vector<SweepJob> jobs;
+    SimulationOptions base = makeOptions(args, bench);
+    applyRunSeed(base, args.seed);
+    jobs.push_back({bench + "/base", base});
+
+    SimulationOptions no_fsm = base;
+    no_fsm.vsv = noFsmVsvConfig();
+    jobs.push_back({bench + "/no-fsm", no_fsm});
+
+    SimulationOptions with_fsm = base;
+    with_fsm.vsv = fsmVsvConfig();
+    jobs.push_back({bench + "/fsm", with_fsm});
+    return jobs;
+}
+
+/** Sweep the grid through a store rooted at `dir`. */
+std::vector<SweepOutcome>
+sweep(const std::vector<SweepJob> &jobs, const std::string &dir,
+      double &wall_seconds, store::ResultStoreStats &stats)
+{
+    const auto start = std::chrono::steady_clock::now();
+    store::ResultStore resultStore(dir);
+    SweepRunner runner(1);
+    runner.enableResultStore(resultStore);
+    std::vector<SweepOutcome> outcomes = runner.run(jobs);
+    resultStore.flush();
+    wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    stats = resultStore.stats();
+    return outcomes;
+}
+
+bool
+sameStats(const std::vector<SweepOutcome> &a,
+          const std::vector<SweepOutcome> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].scalars != b[i].scalars ||
+            a[i].statsJson != b[i].statsJson ||
+            a[i].result.ticks != b[i].result.ticks ||
+            a[i].result.energyPj != b[i].result.energyPj) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Total bytes of `.vsvres` entries under the store root. */
+std::uintmax_t
+storeBytes(const std::string &dir)
+{
+    std::uintmax_t total = 0;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(dir, ec)) {
+        if (entry.is_regular_file(ec))
+            total += entry.file_size(ec);
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 100000, 0, {"mcf", "ammp", "art"});
+    const std::string out_path =
+        args.config.getString("out", "BENCH_store.json");
+    const unsigned repeat = static_cast<unsigned>(
+        std::max<std::uint64_t>(1, args.config.getUInt("repeat", 1)));
+    const std::string store_dir =
+        args.storeDir.empty() ? out_path + ".store" : args.storeDir;
+    args.config.rejectUnknown("perf_store");
+
+    std::vector<BenchResult> results;
+    double wall_cold = 0.0;
+    double wall_warm = 0.0;
+    std::uintmax_t disk_bytes = 0;
+    bool all_served = true;
+
+    for (const auto &bench : args.benchmarks) {
+        const std::vector<SweepJob> jobs = gridFor(args, bench);
+        const std::string dir = store_dir + "/" + bench;
+
+        BenchResult r;
+        r.benchmark = bench;
+
+        // Cold: a fresh (empty) store per repeat, so every timing
+        // covers full simulation plus the insert path. The last
+        // repeat leaves the store populated for the warm pass.
+        std::vector<double> cold_walls;
+        r.coldSeconds = 0.0;
+        for (unsigned i = 0; i < repeat; ++i) {
+            std::filesystem::remove_all(dir);
+            store::ResultStoreStats stats;
+            double wall = 0.0;
+            auto outcomes = sweep(jobs, dir, wall, stats);
+            cold_walls.push_back(wall);
+            if (stats.inserts != jobs.size()) {
+                warn(bench + ": cold pass recorded " +
+                     std::to_string(stats.inserts) + " of " +
+                     std::to_string(jobs.size()) + " runs");
+                all_served = false;
+            }
+            if (i == 0 || wall < r.coldSeconds) {
+                r.coldSeconds = wall;
+                r.cold = std::move(outcomes);
+            }
+        }
+
+        // Warm: the same grid against the populated store; every run
+        // must be a hit (zero simulations).
+        std::vector<double> warm_walls;
+        r.warmSeconds = 0.0;
+        for (unsigned i = 0; i < repeat; ++i) {
+            store::ResultStoreStats stats;
+            double wall = 0.0;
+            auto outcomes = sweep(jobs, dir, wall, stats);
+            warm_walls.push_back(wall);
+            if (i == 0 || wall < r.warmSeconds) {
+                r.warmSeconds = wall;
+                r.warm = std::move(outcomes);
+                r.warmStats = stats;
+            }
+        }
+        if (r.warmStats.hits != jobs.size() ||
+            r.warmStats.misses != 0) {
+            warn(bench + ": warm pass expected " +
+                 std::to_string(jobs.size()) + " hits, got " +
+                 std::to_string(r.warmStats.hits) + " hits + " +
+                 std::to_string(r.warmStats.misses) + " misses");
+            all_served = false;
+        }
+
+        r.medianColdSeconds =
+            summarizeRepeats(cold_walls).medianSeconds;
+        r.medianWarmSeconds =
+            summarizeRepeats(warm_walls).medianSeconds;
+
+        // The store contract: replayed runs match, bit for bit.
+        r.identical = sameStats(r.cold, r.warm);
+        if (!r.identical) {
+            warn(bench + ": store replay changed simulated results");
+            all_served = false;
+        }
+
+        r.speedup =
+            r.warmSeconds > 0.0 ? r.coldSeconds / r.warmSeconds : 0.0;
+        wall_cold += r.coldSeconds;
+        wall_warm += r.warmSeconds;
+        disk_bytes += storeBytes(dir);
+        results.push_back(std::move(r));
+    }
+    if (args.storeDir.empty())
+        std::filesystem::remove_all(store_dir);
+
+    const double overall =
+        wall_warm > 0.0 ? wall_cold / wall_warm : 0.0;
+
+    TextTable table({"benchmark", "cold s", "warm s", "hits",
+                     "inserts", "speedup"});
+    for (const auto &r : results) {
+        table.addRow({r.benchmark, TextTable::num(r.coldSeconds),
+                      TextTable::num(r.warmSeconds, 4),
+                      std::to_string(r.warmStats.hits),
+                      std::to_string(r.warmStats.inserts),
+                      TextTable::num(r.speedup, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "end-to-end speedup: " << TextTable::num(overall, 2)
+              << "x (" << TextTable::num(wall_cold, 2) << "s -> "
+              << TextTable::num(wall_warm, 2) << "s), "
+              << disk_bytes << " bytes on disk\n";
+
+    std::ofstream os(out_path);
+    if (!os)
+        fatal("cannot open --out file: " + out_path);
+    os << std::setprecision(6);
+    os << "{\n"
+       << "  \"tool\": \"perf_store\",\n"
+       << "  \"instructions\": " << args.instructions << ",\n"
+       << "  \"warmup\": " << args.warmup << ",\n"
+       << "  \"seed\": " << args.seed << ",\n"
+       << "  \"repeat\": " << repeat << ",\n"
+       << "  \"runsPerBenchmark\": 3,\n"
+       << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        os << "    {\"id\": \"" << r.benchmark << "\", \"cold\": "
+           << "{\"wallSeconds\": " << r.coldSeconds
+           << ", \"medianWallSeconds\": " << r.medianColdSeconds
+           << "}, \"warm\": {\"wallSeconds\": " << r.warmSeconds
+           << ", \"medianWallSeconds\": " << r.medianWarmSeconds
+           << ", \"hits\": " << r.warmStats.hits
+           << ", \"misses\": " << r.warmStats.misses
+           << "}, \"speedup\": " << r.speedup << ", \"identical\": "
+           << (r.identical ? "true" : "false") << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"overall\": {\"wallSecondsCold\": " << wall_cold
+       << ", \"wallSecondsWarm\": " << wall_warm
+       << ", \"speedup\": " << overall << ", \"storeBytes\": "
+       << disk_bytes << ", \"allServed\": "
+       << (all_served ? "true" : "false") << "}\n"
+       << "}\n";
+    inform("wrote " + out_path);
+
+    return all_served ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * vsvstored: the result-store daemon (STORE.md). Serves configuration-
+ * fingerprint queries from a content-addressed result store over TCP:
+ * a hit answers with the cached run's bytes instantly, a miss
+ * simulates the run on the spot, caches it, and answers with the
+ * fresh bytes. The wire framing is the campaign protocol's (4-byte
+ * big-endian length prefix around one JSON object), with a
+ * query/reply message pair documented in STORE.md.
+ *
+ * The daemon is started with the same grid flags a sweep would use
+ * (it builds the Figure 4 characterization grid - per benchmark:
+ * baseline, VSV without FSMs, VSV with the paper's FSMs) and will
+ * only simulate fingerprints that appear in that grid; anything else
+ * is answered with an error.
+ *
+ * Usage:
+ *   # serve the default grid out of ./results on port 7099:
+ *   vsvstored --store-dir=results --store-listen=7099
+ *
+ *   # ephemeral port (logged at startup), narrower grid:
+ *   vsvstored --store-dir=results --store-listen=127.0.0.1:0 \
+ *             --benchmarks=mcf,art --instructions=400000
+ *
+ * SIGINT/SIGTERM stop the daemon cleanly after the in-flight query.
+ *
+ * Common options (all --key=value):
+ *   --store-dir=DIR         store root (required)
+ *   --store-listen=[HOST:]PORT  bind address (default 0.0.0.0)
+ *   --benchmarks=a,b,c --instructions=N --warmup=N --seed=S
+ */
+
+#include <csignal>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "store/daemon.hh"
+
+using namespace vsv;
+
+namespace
+{
+
+store::ResultDaemon *activeDaemon = nullptr;
+
+void
+handleStopSignal(int)
+{
+    if (activeDaemon)
+        activeDaemon->requestStop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentArgs args = parseExperimentArgs(
+        argc, argv, 400000, 300000, spec2kBenchmarks());
+    const std::string listenSpec =
+        args.config.getString("store-listen", "");
+    args.config.rejectUnknown("vsvstored");
+    if (args.storeDir.empty())
+        fatal("vsvstored needs --store-dir=DIR (see STORE.md)");
+    if (args.noStore)
+        fatal("--no-store contradicts running a store daemon");
+    if (listenSpec.empty())
+        fatal("vsvstored needs --store-listen=[HOST:]PORT");
+
+    // The same grid a sweep of these flags would run (vsvcampaign's
+    // Figure 4 grid), so sweep and daemon agree on what every
+    // fingerprint means.
+    std::vector<SweepJob> jobs;
+    for (const auto &name : args.benchmarks) {
+        SimulationOptions base = makeOptions(args, name);
+        applyRunSeed(base, args.seed);
+        jobs.push_back({name + "/base", base});
+
+        SimulationOptions no_fsm = base;
+        no_fsm.vsv = noFsmVsvConfig();
+        jobs.push_back({name + "/no-fsm", no_fsm});
+
+        SimulationOptions with_fsm = base;
+        with_fsm.vsv = fsmVsvConfig();
+        jobs.push_back({name + "/fsm", with_fsm});
+    }
+
+    store::ResultStore resultStore(args.storeDir);
+    WarmupSnapshotCache cache(args.snapshotDir);
+    store::ResultDaemon daemon(resultStore,
+                               prepareSweepJobs(args, jobs), listenSpec,
+                               args.snapshotCache ? &cache : nullptr);
+
+    activeDaemon = &daemon;
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+
+    const std::uint64_t answered = daemon.serve();
+
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    activeDaemon = nullptr;
+
+    resultStore.flush();
+    const store::ResultStoreStats stats = resultStore.stats();
+    std::cout << "vsvstored stopped: " << answered << " queries ("
+              << stats.hits << " hits, " << stats.misses << " misses, "
+              << stats.inserts << " inserts)\n";
+    return 0;
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerate BENCH_store.json, the checked-in result-store throughput
+# baseline (cold sweep into a fresh --store-dir vs the same Figure 4
+# grid replayed from the warm store, which must simulate nothing).
+# Extra flags are passed through to bench/perf_store, e.g. --repeat=N
+# or --benchmarks=a,b,c.
+set -e
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build="$repo/build"
+
+cmake -S "$repo" -B "$build" >/dev/null
+cmake --build "$build" --target perf_store -j >/dev/null
+"$build/bench/perf_store" --out="$repo/BENCH_store.json" "$@"

@@ -36,8 +36,10 @@ runCampaignSweep(const ExperimentArgs &args, const std::string &tool,
     // still single-threaded - it forks.
     std::shared_ptr<CampaignStats> stats =
         std::make_shared<CampaignStats>();
+    std::shared_ptr<store::ResultStoreStats> storeStats =
+        std::make_shared<store::ResultStoreStats>();
     const auto execute =
-        [&args, &tool, &onCoordinator, stats](
+        [&args, &tool, &onCoordinator, stats, storeStats](
             const std::vector<SweepJob> &prepared,
             const std::vector<std::size_t> &pendingSlots) {
             Coordinator coordinator(args, tool, prepared);
@@ -46,11 +48,15 @@ runCampaignSweep(const ExperimentArgs &args, const std::string &tool,
             std::vector<SweepOutcome> outcomes =
                 coordinator.execute(pendingSlots);
             *stats = coordinator.stats();
+            // execute() flushed the store, so these are final.
+            if (coordinator.resultStore())
+                *storeStats = coordinator.resultStore()->stats();
             return outcomes;
         };
-    const auto amend = [stats](SweepManifest &manifest) {
+    const auto amend = [stats, storeStats](SweepManifest &manifest) {
         manifest.threads = 1; // coordinator runs nothing itself
         manifest.campaign = *stats;
+        manifest.store = *storeStats;
     };
     return runSweepWith(args, tool, jobs, execute, amend);
 }

@@ -49,6 +49,12 @@ Coordinator::Coordinator(const ExperimentArgs &args,
                std::to_string(listenPort_));
     }
     spawnLocalWorkers();
+    // After the forks: the store spawns writer threads, and forking a
+    // multi-threaded process risks inheriting a lock mid-operation.
+    if (args.storeEnabled()) {
+        resultStore_ =
+            std::make_unique<store::ResultStore>(args.storeDir);
+    }
 }
 
 Coordinator::~Coordinator()
@@ -164,13 +170,16 @@ Coordinator::handleHello(Worker &worker, const HelloMessage &hello)
 
 void
 Coordinator::recordOutcome(std::uint64_t index,
-                           const SweepOutcome &outcome)
+                           const SweepOutcome &outcome, bool fromStore)
 {
     // At-least-once dispatch: a run re-queued after a worker death
     // may in principle complete twice. The first recorded outcome
     // wins so the merged manifest is stable.
     if (!recorded.emplace(index, outcome).second)
         return;
+    if (resultStore_ && !fromStore &&
+        outcome.status == SweepStatus::Ok)
+        resultStore_->insert(storeEntryFromOutcome(outcome));
     if (outcomeHook)
         outcomeHook(index, outcome);
 }
@@ -222,12 +231,25 @@ Coordinator::failWorker(Worker &worker, const std::string &why)
 void
 Coordinator::refill(Worker &worker)
 {
-    if (worker.fd < 0 || !worker.active || !worker.inFlight.empty() ||
-        queue.empty()) {
+    if (worker.fd < 0 || !worker.active || queue.empty())
         return;
-    }
+    // Low-water top-up. The original refill only issued a lease once
+    // a worker's in-flight set was completely empty, so with chunk C
+    // every worker idled between finishing run C and the OUTCOME for
+    // run C reaching us - and, worse, a worker finishing its chunk
+    // while we were busy failing another worker could sit idle a full
+    // poll round. Topping back up to a full chunk once in-flight
+    // drops below half keeps the pipeline primed; chunk=1 degenerates
+    // to the old lease-when-empty behaviour.
+    const std::size_t lowWater =
+        std::max<std::size_t>(1, args.campaignChunk / 2);
+    if (worker.inFlight.size() >= lowWater)
+        return;
     AssignMessage assign;
-    while (!queue.empty() && assign.runs.size() < args.campaignChunk) {
+    // inFlight tracks the lease as it is built, so it alone measures
+    // fullness here.
+    while (!queue.empty() &&
+           worker.inFlight.size() < args.campaignChunk) {
         const std::uint64_t index = queue.front();
         queue.pop_front();
         AssignedRun run;
@@ -238,6 +260,8 @@ Coordinator::refill(Worker &worker)
         worker.inFlight.insert(index);
         ++dispatches[index];
     }
+    if (assign.runs.empty())
+        return;
     if (!writeFrame(worker.fd, encode(assign)))
         failWorker(worker, "hung up during assign");
 }
@@ -298,8 +322,10 @@ Coordinator::handleFrame(Worker &worker, const std::string &payload)
         }
         worker.inFlight.erase(it);
         recordOutcome(out->index, out->outcome);
-        if (worker.inFlight.empty())
-            refill(worker);
+        // refill() self-guards (low-water, empty queue, dead fd), so
+        // call it for every outcome: leases top back up before the
+        // worker runs dry instead of only after it has fully drained.
+        refill(worker);
         return worker.fd >= 0;
     }
     if (const auto *bye = std::get_if<ByeMessage>(&msg)) {
@@ -321,8 +347,32 @@ std::vector<SweepOutcome>
 Coordinator::execute(const std::vector<std::size_t> &pendingSlots)
 {
     expected = pendingSlots.size();
-    for (const std::size_t slot : pendingSlots)
+    for (const std::size_t slot : pendingSlots) {
+        // Store hits are recorded as outcomes up front, before any
+        // lease is issued: a run the store already holds never
+        // crosses the wire at all. An entry that fails to replay
+        // degrades to a normal dispatch.
+        if (resultStore_) {
+            const std::string fp =
+                configFingerprint(prepared[slot].options);
+            if (std::optional<store::StoreEntry> entry =
+                    resultStore_->lookup(fp)) {
+                try {
+                    recordOutcome(slot,
+                                  outcomeFromStoreEntry(
+                                      prepared[slot].id, *entry),
+                                  /*fromStore=*/true);
+                    continue;
+                } catch (const std::exception &e) {
+                    warn("result store entry for " +
+                         prepared[slot].id + " (" + fp +
+                         ") did not replay: " + e.what() +
+                         "; dispatching");
+                }
+            }
+        }
         queue.push_back(slot);
+    }
 
     const double heartbeat = args.campaignHeartbeat;
     const auto deadAfter =
@@ -339,6 +389,25 @@ Coordinator::execute(const std::vector<std::size_t> &pendingSlots)
                   "listener to admit new ones, and " +
                   std::to_string(expected - recorded.size()) +
                   " runs have no outcome");
+        }
+        // A listener alone is only worth waiting on before anything
+        // has engaged: a coordinator whose every joined (or refused)
+        // worker is gone used to block in poll() forever, betting a
+        // fresh worker would connect. Once a worker has joined, died
+        // or been refused, no-workers-left is a structured failure,
+        // not a wait state.
+        const std::uint64_t engaged = stats_.workersJoined +
+                                      stats_.deaths +
+                                      stats_.protocolErrors;
+        if (open == 0 && engaged > 0) {
+            fatal("campaign stalled: every worker is gone (" +
+                  std::to_string(stats_.workersJoined) + " joined, " +
+                  std::to_string(stats_.deaths) + " died, " +
+                  std::to_string(stats_.protocolErrors) +
+                  " protocol errors) and " +
+                  std::to_string(expected - recorded.size()) +
+                  " runs have no outcome; aborting instead of waiting "
+                  "for a new worker to connect");
         }
 
         std::vector<pollfd> fds;
@@ -471,6 +540,10 @@ Coordinator::execute(const std::vector<std::size_t> &pendingSlots)
         listenFd = -1;
     }
     reapChildren(/*block=*/true);
+    // Drain queued inserts so the manifest's store counters are final
+    // and every recorded run is durable before we return.
+    if (resultStore_)
+        resultStore_->flush();
 
     std::vector<SweepOutcome> out;
     out.reserve(pendingSlots.size());

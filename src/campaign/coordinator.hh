@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "campaign/protocol.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
+#include "store/store.hh"
 
 namespace vsv
 {
@@ -73,6 +75,13 @@ class Coordinator
     /** Campaign counters for the manifest (valid after execute()). */
     const CampaignStats &stats() const { return stats_; }
 
+    /** The --store-dir result store, or nullptr when no store is in
+     *  play (counters for the manifest's `store` block live here). */
+    const store::ResultStore *resultStore() const
+    {
+        return resultStore_.get();
+    }
+
     /** Bound TCP port (resolves --campaign-listen=...:0); 0 = none. */
     std::uint16_t listenPort() const { return listenPort_; }
 
@@ -104,7 +113,8 @@ class Coordinator
     void acceptWorker();
     bool handleFrame(Worker &worker, const std::string &payload);
     void handleHello(Worker &worker, const HelloMessage &hello);
-    void recordOutcome(std::uint64_t index, const SweepOutcome &outcome);
+    void recordOutcome(std::uint64_t index, const SweepOutcome &outcome,
+                       bool fromStore = false);
     void failWorker(Worker &worker, const std::string &why);
     void refill(Worker &worker);
     void closeWorker(Worker &worker);
@@ -128,6 +138,11 @@ class Coordinator
     /** Fatal dispatches (worker died holding the run) per grid index. */
     std::map<std::uint64_t, unsigned> fatalDispatches;
     std::size_t expected = 0;
+
+    /** --store-dir: hits are recorded before any lease is issued, so
+     *  a stored run never crosses the wire; fresh Ok outcomes are
+     *  inserted as they arrive. */
+    std::unique_ptr<store::ResultStore> resultStore_;
 
     CampaignStats stats_;
     OutcomeHook outcomeHook;

@@ -173,6 +173,16 @@ serveCoordinator(int fd, const ExperimentArgs &args,
                 args.snapshotDir);
             runner.enableWarmupSnapshots(*cache);
         }
+        // The worker reads/writes the same --store-dir the
+        // coordinator does (its command line is the coordinator's):
+        // a second defence for entries that landed after the
+        // coordinator's up-front pre-serve pass.
+        std::unique_ptr<store::ResultStore> resultStore;
+        if (args.storeEnabled()) {
+            resultStore =
+                std::make_unique<store::ResultStore>(args.storeDir);
+            runner.enableResultStore(*resultStore);
+        }
 
         std::atomic<std::uint64_t> done{0};
         std::atomic<std::uint64_t> inFlight{0};

@@ -55,6 +55,11 @@ parseExperimentArgs(int argc, char **argv,
         fatal("--snapshot-dir requires the snapshot cache "
               "(drop --no-snapshot-cache)");
     }
+    // Valueless "--no-store" parses as no-store=true. Unlike the
+    // snapshot pair this is not a conflict: scripts keep a fixed
+    // --store-dir and add --no-store to force re-simulation.
+    args.storeDir = args.config.getString("store-dir", "");
+    args.noStore = args.config.getBool("no-store", false);
     // Distributed-campaign roles (CAMPAIGNS.md). Parsed here so every
     // sweep binary shares one flag surface; interpreted by
     // src/campaign (runCampaignSweep). A worker cannot also listen or
@@ -297,6 +302,14 @@ runSweep(const ExperimentArgs &args, const std::string &tool,
         runner.enableWarmupSnapshots(*cache);
     }
 
+    // Result store: --store-dir replays previously recorded runs
+    // byte-identically and records fresh Ok runs (STORE.md).
+    std::unique_ptr<store::ResultStore> resultStore;
+    if (args.storeEnabled()) {
+        resultStore = std::make_unique<store::ResultStore>(args.storeDir);
+        runner.enableResultStore(*resultStore);
+    }
+
     const auto execute =
         [&runner](const std::vector<SweepJob> &prepared,
                   const std::vector<std::size_t> &pendingSlots) {
@@ -306,11 +319,19 @@ runSweep(const ExperimentArgs &args, const std::string &tool,
                 pending.push_back(prepared[slot]);
             return runner.run(pending);
         };
-    const auto amend = [&runner, &cache](SweepManifest &manifest) {
+    const auto amend = [&runner, &cache,
+                        &resultStore](SweepManifest &manifest) {
         manifest.threads = runner.threads();
         if (cache)
             manifest.snapshotCache = cache->stats();
         manifest.lockstep = runner.lockstepStats();
+        if (resultStore) {
+            // Drain queued inserts so the published counters are
+            // final and a process exiting right after the export
+            // leaves every entry durable.
+            resultStore->flush();
+            manifest.store = resultStore->stats();
+        }
     };
     return runSweepWith(args, tool, jobs, execute, amend);
 }

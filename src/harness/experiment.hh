@@ -72,6 +72,14 @@ struct ExperimentArgs
     /** --snapshot-dir=DIR: persist warmup snapshots on disk so later
      *  campaigns (e.g. under --resume) skip warmup too. */
     std::string snapshotDir;
+    /** --store-dir=DIR: content-addressed result store (STORE.md). A
+     *  run whose configuration fingerprint is already stored replays
+     *  the recorded bytes instead of simulating; fresh Ok runs are
+     *  recorded for the next sweep. Empty = no store. */
+    std::string storeDir;
+    /** --no-store: ignore --store-dir for this invocation (useful to
+     *  force re-simulation against a populated store). */
+    bool noStore = false;
     /** --cores=N: cores per simulated chip (default 1; max 64). */
     std::uint32_t cores = 1;
     /** --rail-policy=per-core|shared (multi-core runs only). */
@@ -108,6 +116,13 @@ struct ExperimentArgs
     {
         return !campaignListen.empty() || !campaignConnect.empty() ||
                campaignWorkers > 0;
+    }
+
+    /** Should this invocation read/write the result store? */
+    bool
+    storeEnabled() const
+    {
+        return !storeDir.empty() && !noStore;
     }
 };
 

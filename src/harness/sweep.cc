@@ -33,7 +33,65 @@ splitmix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+/**
+ * Replay a stored run for this job, or nullopt on any miss. A stored
+ * entry that fails to parse is a store bug, not a sweep failure: warn
+ * and fall through to simulating (the fresh run will re-insert).
+ */
+std::optional<SweepOutcome>
+tryServeFromStore(store::ResultStore &resultStore, const SweepJob &job)
+{
+    const std::string fp = configFingerprint(job.options);
+    std::optional<store::StoreEntry> entry = resultStore.lookup(fp);
+    if (!entry)
+        return std::nullopt;
+    try {
+        return outcomeFromStoreEntry(job.id, *entry);
+    } catch (const std::exception &e) {
+        warn("result store entry for " + job.id + " (" + fp +
+             ") did not replay: " + e.what() + "; re-simulating");
+        return std::nullopt;
+    }
+}
+
 } // namespace
+
+store::StoreEntry
+storeEntryFromOutcome(const SweepOutcome &outcome)
+{
+    store::StoreEntry entry;
+    entry.fingerprint = outcome.fingerprint;
+    entry.attempts = outcome.attempts > 0 ? outcome.attempts : 1;
+    std::ostringstream result;
+    writeSimulationResultJson(result, outcome.result);
+    entry.resultJson = result.str();
+    entry.statsJson = outcome.statsJson;
+    entry.statsText = outcome.statsText;
+    return entry;
+}
+
+SweepOutcome
+outcomeFromStoreEntry(const std::string &id,
+                      const store::StoreEntry &entry)
+{
+    SweepOutcome outcome;
+    outcome.id = id;
+    outcome.status = SweepStatus::Ok;
+    outcome.attempts = entry.attempts;
+    outcome.fingerprint = entry.fingerprint;
+    // The recorded result re-parses and re-serializes to the bytes
+    // that were stored (jsonNumber's %.17g round-trips doubles), so a
+    // manifest built from this outcome matches the cold run's bytes.
+    outcome.result =
+        parseSimulationResultJson(minijson::parse(entry.resultJson));
+    if (!entry.statsJson.empty()) {
+        outcome.scalars =
+            parseScalarsFromStats(minijson::parse(entry.statsJson));
+    }
+    outcome.statsJson = entry.statsJson;
+    outcome.statsText = entry.statsText;
+    return outcome;
+}
 
 std::string_view
 sweepStatusName(SweepStatus status)
@@ -183,26 +241,60 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
     if (jobs.empty())
         return outcomes;
 
+    // Serve what the result store already has before forming tasks:
+    // a hit replays the recorded bytes as a status=ok outcome and the
+    // job never reaches the pool. `served` also keeps the insert path
+    // below from re-serializing entries that came from the store.
+    std::vector<char> served(jobs.size(), 0);
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (resultStore_) {
+            if (std::optional<SweepOutcome> hit =
+                    tryServeFromStore(*resultStore_, jobs[i])) {
+                outcomes[i] = std::move(*hit);
+                served[i] = 1;
+                if (onOutcome)
+                    onOutcome(i, outcomes[i]);
+                continue;
+            }
+        }
+        pending.push_back(i);
+    }
+    if (pending.empty())
+        return outcomes;
+
     // The unit of scheduling is a task: one serial job, or one
     // lockstep batch of structurally identical jobs that share a
     // front-end (lockstep.hh). With lockstep off every job is its own
     // task - the original behaviour, instruction for instruction.
+    // Lockstep plans over the pending subset only (store hits must not
+    // anchor batches), then maps back to submission indices.
     struct Task
     {
         std::vector<std::size_t> members;
     };
     std::vector<Task> tasks;
     if (lockstepStats_.enabled) {
+        std::vector<SweepJob> pendingJobs;
+        pendingJobs.reserve(pending.size());
+        for (const std::size_t i : pending)
+            pendingJobs.push_back(jobs[i]);
         LockstepPlan plan =
-            planLockstep(jobs, lockstepMax_, lockstepStats_);
+            planLockstep(pendingJobs, lockstepMax_, lockstepStats_);
         tasks.reserve(plan.batches.size() + plan.serial.size());
-        for (LockstepBatch &batch : plan.batches)
-            tasks.push_back({std::move(batch.members)});
-        for (const std::size_t i : plan.serial)
-            tasks.push_back({{i}});
+        for (const LockstepBatch &batch : plan.batches) {
+            Task task;
+            task.members.reserve(batch.members.size());
+            for (const std::size_t p : batch.members)
+                task.members.push_back(pending[p]);
+            tasks.push_back(std::move(task));
+        }
+        for (const std::size_t p : plan.serial)
+            tasks.push_back({{pending[p]}});
     } else {
-        tasks.reserve(jobs.size());
-        for (std::size_t i = 0; i < jobs.size(); ++i)
+        tasks.reserve(pending.size());
+        for (const std::size_t i : pending)
             tasks.push_back({{i}});
     }
 
@@ -210,9 +302,12 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
     // submission slot, so the result vector is schedule-independent.
     std::atomic<std::size_t> next{0};
     std::atomic<std::uint64_t> fallbacks{0};
-    auto worker = [this, &jobs, &tasks, &outcomes, &next, &fallbacks,
-                   &onOutcome]() {
+    auto worker = [this, &jobs, &tasks, &outcomes, &served, &next,
+                   &fallbacks, &onOutcome]() {
         const auto finished = [&](std::size_t i) {
+            if (resultStore_ && !served[i] &&
+                outcomes[i].status == SweepStatus::Ok)
+                resultStore_->insert(storeEntryFromOutcome(outcomes[i]));
             if (onOutcome)
                 onOutcome(i, outcomes[i]);
         };
@@ -578,6 +673,20 @@ writeSweepJson(std::ostream &os, const SweepManifest &manifest,
         }
     }
     os << "}}";
+    // Store counters appear only when --store-dir was given, so a
+    // store-less manifest stays byte-identical to earlier releases -
+    // and a warm re-sweep differs from its cold twin only here and in
+    // the host-dependent throughput/wallSeconds fields (STORE.md).
+    if (manifest.store.enabled) {
+        os << ",\"store\":{"
+           << "\"enabled\":true"
+           << ",\"hits\":" << manifest.store.hits
+           << ",\"misses\":" << manifest.store.misses
+           << ",\"inserts\":" << manifest.store.inserts
+           << ",\"corrupt\":" << manifest.store.corrupt
+           << ",\"writeFailures\":" << manifest.store.writeFailures
+           << '}';
+    }
     // Campaign counters appear only for distributed runs, so a
     // single-process manifest stays byte-identical to what earlier
     // versions wrote (and to what a campaign of the same grid merges,

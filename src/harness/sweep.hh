@@ -42,6 +42,7 @@
 #include "common/minijson.hh"
 #include "harness/simulator.hh"
 #include "harness/warmup_cache.hh"
+#include "store/store.hh"
 
 namespace vsv
 {
@@ -218,6 +219,21 @@ class SweepRunner
     const LockstepStats &lockstepStats() const { return lockstepStats_; }
 
     /**
+     * Serve jobs from (and record Ok runs into) a content-addressed
+     * result store (store/store.hh; must outlive run()). A job whose
+     * configFingerprint has a valid stored entry is never simulated:
+     * its recorded bytes replay as a status=ok outcome, byte-identical
+     * to the run that produced them. Store trouble (corrupt entries,
+     * full disks) degrades to a plain miss - the sweep still runs.
+     */
+    void enableResultStore(store::ResultStore &store)
+    {
+        resultStore_ = &store;
+    }
+
+    const store::ResultStore *resultStore() const { return resultStore_; }
+
+    /**
      * Run one job inline with no isolation: exceptions propagate and
      * fatal() exits, as in a plain single-run binary. A non-null
      * `cache` deduplicates the warmup (see enableWarmupSnapshots).
@@ -242,7 +258,25 @@ class SweepRunner
     WarmupSnapshotCache *snapshotCache_ = nullptr;
     unsigned lockstepMax_ = 0;
     LockstepStats lockstepStats_;
+    store::ResultStore *resultStore_ = nullptr;
 };
+
+/**
+ * Package a completed (status=ok) outcome as a store entry: the result
+ * re-serializes through writeSimulationResultJson so the stored bytes
+ * are exactly what a manifest would have written. Call only for Ok
+ * outcomes - failed runs are never cached.
+ */
+store::StoreEntry storeEntryFromOutcome(const SweepOutcome &outcome);
+
+/**
+ * Replay a stored entry as a status=ok outcome for run id `id`:
+ * result/scalars parse back from the recorded documents, attempts and
+ * the stats bytes carry over verbatim. Throws std::runtime_error when
+ * the recorded documents do not parse (callers treat that as a miss).
+ */
+SweepOutcome outcomeFromStoreEntry(const std::string &id,
+                                   const store::StoreEntry &entry);
 
 /**
  * Deterministic per-run seed derivation (splitmix64 mixing): depends
@@ -317,6 +351,8 @@ struct SweepManifest
     LockstepStats lockstep;
     /** Distributed-campaign counters (enabled=false omits the block). */
     CampaignStats campaign;
+    /** Result-store counters (enabled=false omits the block). */
+    store::ResultStoreStats store;
     /** Echo of the command-line configuration (Config::items()). */
     std::vector<std::pair<std::string, std::string>> config;
 };

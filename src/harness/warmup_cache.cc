@@ -91,6 +91,23 @@ WarmupSnapshotCache::saveToDisk(const std::string &fingerprint,
     }
 }
 
+void
+WarmupSnapshotCache::quarantineSnapshot(
+    const std::string &fingerprint) const
+{
+    // Without the quarantine a corrupt snapshot was re-read and
+    // re-rejected by every later worker and every later campaign
+    // sharing the directory. rename() is atomic, so of several
+    // processes rejecting the same file concurrently exactly one
+    // wins and the rest find it already gone - both fine.
+    const std::string path = snapshotPath(fingerprint);
+    const std::string bad = path + ".bad";
+    if (std::rename(path.c_str(), bad.c_str()) == 0)
+        warn("quarantined corrupt warmup snapshot as " + bad);
+    // else: already quarantined by a sibling process, or the
+    // directory is read-only - nothing further to do either way.
+}
+
 std::unique_ptr<Simulator>
 WarmupSnapshotCache::acquire(const SimulationOptions &options)
 {
@@ -144,6 +161,7 @@ WarmupSnapshotCache::acquire(const SimulationOptions &options)
                     return sim;
                 }
                 failures_.fetch_add(1, std::memory_order_relaxed);
+                quarantineSnapshot(fingerprint);
             }
         }
 

@@ -96,6 +96,14 @@ class WarmupSnapshotCache
                     const std::string &bytes) const;
 
     /**
+     * Rename a rejected on-disk snapshot to `<path>.bad` so no later
+     * worker (or campaign sharing the directory) reads and rejects
+     * the same bytes again; the quarantined file stays around for a
+     * post-mortem. warn()s with the quarantined path.
+     */
+    void quarantineSnapshot(const std::string &fingerprint) const;
+
+    /**
      * Restore `sim` from snapshot bytes; false (with a warning) on
      * any structural problem. A false return leaves `sim` partially
      * restored - the caller must discard it and build a fresh one.

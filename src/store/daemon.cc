@@ -1,0 +1,315 @@
+#include "daemon.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "campaign/net.hh"
+#include "campaign/protocol.hh"
+#include "common/logging.hh"
+#include "common/minijson.hh"
+#include "stats/stats.hh"
+
+namespace vsv
+{
+namespace store
+{
+
+using campaign::ProtocolError;
+
+std::string
+encodeQuery(const QueryMessage &m)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"query\",\"fingerprint\":\""
+       << jsonEscape(m.fingerprint) << "\"}";
+    return os.str();
+}
+
+std::string
+encodeReply(const ReplyMessage &m)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"reply\",\"fingerprint\":\""
+       << jsonEscape(m.fingerprint) << "\",\"hit\":"
+       << (m.hit ? "true" : "false") << ",\"error\":";
+    if (m.error.empty())
+        os << "null";
+    else
+        os << '"' << jsonEscape(m.error) << '"';
+    os << ",\"run\":";
+    if (m.served) {
+        // The three documents cross the wire as opaque strings, the
+        // same discipline as the campaign OUTCOME message: the bytes
+        // the store recorded are the bytes the client receives.
+        os << "{\"attempts\":" << m.run.attempts << ",\"result\":\""
+           << jsonEscape(m.run.resultJson) << "\",\"stats\":\""
+           << jsonEscape(m.run.statsJson) << "\",\"statsText\":\""
+           << jsonEscape(m.run.statsText) << "\"}";
+    } else {
+        os << "null";
+    }
+    os << '}';
+    return os.str();
+}
+
+namespace
+{
+
+const std::string &
+requireString(const minijson::Value &v, const char *key)
+{
+    if (!v.has(key) || !v.at(key).isString()) {
+        throw ProtocolError(
+            std::string("store message missing string field '") + key +
+            "'");
+    }
+    return v.at(key).str();
+}
+
+minijson::Value
+parsePayload(const std::string &payload, const char *expectedType)
+{
+    minijson::Value doc;
+    try {
+        doc = minijson::parse(payload);
+    } catch (const std::exception &e) {
+        throw ProtocolError(
+            std::string("store frame payload is not valid JSON: ") +
+            e.what());
+    }
+    if (!doc.isObject())
+        throw ProtocolError("store frame payload is not a JSON object");
+    if (requireString(doc, "type") != expectedType) {
+        throw ProtocolError("expected a '" +
+                            std::string(expectedType) +
+                            "' message, got '" + doc.at("type").str() +
+                            "'");
+    }
+    return doc;
+}
+
+} // namespace
+
+QueryMessage
+decodeQuery(const std::string &payload)
+{
+    const minijson::Value doc = parsePayload(payload, "query");
+    QueryMessage m;
+    m.fingerprint = requireString(doc, "fingerprint");
+    return m;
+}
+
+ReplyMessage
+decodeReply(const std::string &payload)
+{
+    const minijson::Value doc = parsePayload(payload, "reply");
+    ReplyMessage m;
+    m.fingerprint = requireString(doc, "fingerprint");
+    if (!doc.has("hit") ||
+        !std::holds_alternative<bool>(doc.at("hit").v))
+        throw ProtocolError("reply message missing boolean 'hit'");
+    m.hit = std::get<bool>(doc.at("hit").v);
+    if (doc.has("error") && doc.at("error").isString())
+        m.error = doc.at("error").str();
+    if (doc.has("run") && doc.at("run").isObject()) {
+        const minijson::Value &run = doc.at("run");
+        if (!run.has("attempts") || !run.at("attempts").isNumber() ||
+            run.at("attempts").num() < 1) {
+            throw ProtocolError(
+                "reply run missing a positive 'attempts'");
+        }
+        m.served = true;
+        m.run.fingerprint = m.fingerprint;
+        m.run.attempts =
+            static_cast<unsigned>(run.at("attempts").num());
+        m.run.resultJson = requireString(run, "result");
+        m.run.statsJson = requireString(run, "stats");
+        m.run.statsText = requireString(run, "statsText");
+    }
+    return m;
+}
+
+ResultDaemon::ResultDaemon(ResultStore &store,
+                           std::vector<SweepJob> grid,
+                           const std::string &listenSpec,
+                           WarmupSnapshotCache *cache)
+    : store_(store), cache_(cache)
+{
+    for (SweepJob &job : grid) {
+        const std::string fp = configFingerprint(job.options);
+        // Duplicate fingerprints are legal in a grid (identical
+        // configs under different ids); any one of them serves.
+        byFingerprint_.emplace(fp, std::move(job));
+    }
+    const campaign::net::HostPort addr =
+        campaign::net::parseHostPort(listenSpec, "0.0.0.0");
+    listenFd_ = campaign::net::listenOn(addr);
+    port_ = campaign::net::boundPort(listenFd_);
+    if (::pipe(stopPipe_) != 0)
+        fatal(std::string("pipe failed: ") + std::strerror(errno));
+    inform("vsvstored listening on " + addr.host + ":" +
+           std::to_string(port_) + " over " + store_.dir() + " (" +
+           std::to_string(byFingerprint_.size()) +
+           " fingerprints in grid)");
+}
+
+ResultDaemon::~ResultDaemon()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    for (const int fd : stopPipe_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+ResultDaemon::requestStop()
+{
+    const char byte = 's';
+    // A full pipe already guarantees serve() will wake; ignore the
+    // result (this must stay signal-handler-safe).
+    [[maybe_unused]] const ssize_t rc =
+        ::write(stopPipe_[1], &byte, 1);
+}
+
+ReplyMessage
+ResultDaemon::answer(const std::string &fingerprint)
+{
+    ReplyMessage reply;
+    reply.fingerprint = fingerprint;
+    if (!ResultStore::validFingerprint(fingerprint)) {
+        reply.error = "malformed fingerprint (want 16 lowercase hex "
+                      "digits)";
+        return reply;
+    }
+    if (std::optional<StoreEntry> entry = store_.lookup(fingerprint)) {
+        reply.hit = true;
+        reply.served = true;
+        reply.run = std::move(*entry);
+        return reply;
+    }
+    const auto it = byFingerprint_.find(fingerprint);
+    if (it == byFingerprint_.end()) {
+        reply.error = "unknown fingerprint: not in this daemon's grid";
+        return reply;
+    }
+
+    inform("vsvstored miss for " + fingerprint + ": simulating " +
+           it->second.id);
+    const SweepOutcome outcome =
+        SweepRunner::runOneIsolated(it->second, cache_);
+    if (outcome.status != SweepStatus::Ok) {
+        reply.error = "simulation " +
+                      std::string(sweepStatusName(outcome.status)) +
+                      ": " + outcome.error;
+        return reply;
+    }
+    StoreEntry entry = storeEntryFromOutcome(outcome);
+    store_.insert(entry);
+    store_.flush();
+    reply.served = true;
+    reply.run = std::move(entry);
+    return reply;
+}
+
+std::uint64_t
+ResultDaemon::serve()
+{
+    struct Client
+    {
+        int fd = -1;
+        campaign::FrameReader reader;
+    };
+    std::vector<Client> clients;
+    std::uint64_t answered = 0;
+    bool stopping = false;
+
+    while (!stopping) {
+        std::vector<pollfd> fds;
+        fds.push_back({stopPipe_[0], POLLIN, 0});
+        fds.push_back({listenFd_, POLLIN, 0});
+        for (const Client &client : clients)
+            fds.push_back({client.fd, POLLIN, 0});
+
+        const int ready = ::poll(fds.data(), fds.size(), -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal(std::string("poll failed: ") + std::strerror(errno));
+        }
+
+        if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+            stopping = true;
+            break;
+        }
+        if (fds[1].revents & POLLIN) {
+            const int fd = ::accept(listenFd_, nullptr, nullptr);
+            if (fd >= 0) {
+                clients.push_back({fd, {}});
+            } else if (errno != EINTR && errno != EAGAIN) {
+                warn(std::string("accept failed: ") +
+                     std::strerror(errno));
+            }
+        }
+
+        // fds[2 + c] paired with clients[c] when poll() ran; a new
+        // accept above only appended past the polled range. Dropped
+        // clients are erased after this loop so the pairing holds.
+        std::vector<std::size_t> dropped;
+        const std::size_t polled = fds.size() - 2;
+        for (std::size_t c = 0; c < polled; ++c) {
+            if (!(fds[2 + c].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Client &client = clients[c];
+            char buf[65536];
+            const ssize_t n = ::read(client.fd, buf, sizeof(buf));
+            bool drop = false;
+            if (n <= 0) {
+                drop = n == 0 || errno != EINTR;
+            } else {
+                client.reader.feed(buf,
+                                   static_cast<std::size_t>(n));
+                try {
+                    while (const std::optional<std::string> payload =
+                               client.reader.next()) {
+                        const QueryMessage query =
+                            decodeQuery(*payload);
+                        const ReplyMessage reply =
+                            answer(query.fingerprint);
+                        ++answered;
+                        if (!campaign::writeFrame(
+                                client.fd, encodeReply(reply))) {
+                            drop = true;
+                            break;
+                        }
+                    }
+                } catch (const ProtocolError &e) {
+                    warn(std::string("vsvstored dropping client: ") +
+                         e.what());
+                    drop = true;
+                }
+            }
+            if (drop)
+                dropped.push_back(c);
+        }
+        for (auto it = dropped.rbegin(); it != dropped.rend(); ++it) {
+            ::close(clients[*it].fd);
+            clients.erase(clients.begin() +
+                          static_cast<std::ptrdiff_t>(*it));
+        }
+    }
+
+    for (const Client &client : clients)
+        ::close(client.fd);
+    return answered;
+}
+
+} // namespace store
+} // namespace vsv

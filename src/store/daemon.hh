@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Result-store daemon (`examples/vsvstored`): a long-running TCP
+ * service that answers configuration-fingerprint queries from a
+ * persistent ResultStore - a hit returns the cached run's bytes
+ * instantly, a miss simulates the run on the spot, caches it, and
+ * returns the fresh bytes. STORE.md documents the wire messages; the
+ * framing (4-byte big-endian length prefix around one RFC 8259 JSON
+ * object) is exactly src/campaign/protocol.hh's, so campaign tooling
+ * and the daemon speak one transport dialect.
+ *
+ * The daemon is grid-scoped: it is started with the same command line
+ * a sweep would use, builds the same jobs, and will only simulate
+ * fingerprints that appear in that grid - a query for anything else
+ * is answered with an error, never guessed at. Lookups that hit serve
+ * concurrently-connected clients without blocking on simulation;
+ * a miss simulates inline (one run at a time), which is the honest
+ * cost of "schedule the run and cache it".
+ */
+
+#ifndef VSV_STORE_DAEMON_HH
+#define VSV_STORE_DAEMON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "store/store.hh"
+
+namespace vsv
+{
+namespace store
+{
+
+/** QUERY - a client asks for one fingerprint's cached run. */
+struct QueryMessage
+{
+    std::string fingerprint;
+};
+
+/** REPLY - the daemon's answer to one QUERY. */
+struct ReplyMessage
+{
+    std::string fingerprint;
+    /** True when the run was served from the store without
+     *  simulating (false for a freshly computed miss). */
+    bool hit = false;
+    /** True when `run` carries a valid entry (hit or computed). */
+    bool served = false;
+    /** Why the query failed; empty on success. */
+    std::string error;
+    StoreEntry run;
+};
+
+/** Encode/decode the daemon's frame payloads; decode throws
+ *  campaign::ProtocolError on any malformed message. */
+std::string encodeQuery(const QueryMessage &m);
+std::string encodeReply(const ReplyMessage &m);
+QueryMessage decodeQuery(const std::string &payload);
+ReplyMessage decodeReply(const std::string &payload);
+
+/**
+ * One daemon instance: binds the listener in the constructor (so the
+ * ephemeral port is known before serve() blocks), then serve() runs
+ * the accept/poll loop until requestStop(). Not copyable.
+ */
+class ResultDaemon
+{
+  public:
+    /**
+     * @param store the backing store (caller keeps ownership)
+     * @param grid the jobs this daemon may simulate, keyed by
+     *             configFingerprint on construction
+     * @param listenSpec --store-listen syntax: "[HOST:]PORT"
+     * @param cache optional warmup snapshot cache shared across the
+     *              daemon's computed misses (nullable)
+     */
+    ResultDaemon(ResultStore &store, std::vector<SweepJob> grid,
+                 const std::string &listenSpec,
+                 WarmupSnapshotCache *cache = nullptr);
+    ~ResultDaemon();
+
+    ResultDaemon(const ResultDaemon &) = delete;
+    ResultDaemon &operator=(const ResultDaemon &) = delete;
+
+    /** The bound TCP port (resolves a ":0" ephemeral bind). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Serve queries until requestStop(). Returns the number of
+     * queries answered. Connection-level protocol errors close that
+     * client and keep serving; listener-level failures fatal().
+     */
+    std::uint64_t serve();
+
+    /**
+     * Ask a running serve() to return; safe to call from another
+     * thread or a signal handler (it writes one byte to a self-pipe).
+     */
+    void requestStop();
+
+    /** Answer one query against the store/grid (the serve() core,
+     *  exposed for tests and in-process callers). */
+    ReplyMessage answer(const std::string &fingerprint);
+
+  private:
+    ResultStore &store_;
+    std::map<std::string, SweepJob> byFingerprint_;
+    WarmupSnapshotCache *cache_ = nullptr;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    int stopPipe_[2] = {-1, -1};
+};
+
+} // namespace store
+} // namespace vsv
+
+#endif // VSV_STORE_DAEMON_HH

@@ -21,6 +21,7 @@
 #include "campaign/coordinator.hh"
 #include "campaign/net.hh"
 #include "campaign/worker.hh"
+#include "common/logging.hh"
 #include "common/minijson.hh"
 #include "harness/experiment.hh"
 
@@ -196,6 +197,175 @@ TEST(CampaignEquivalence, TcpWorkerMatchesSerial)
 
     std::remove(serial.jsonPath.c_str());
     std::remove(camp.jsonPath.c_str());
+}
+
+TEST(CampaignEquivalence, ChunkedLowWaterLeasesMatchSerial)
+{
+    // Regression pin for the refill() low-water fix: with chunk=4 a
+    // worker's lease is topped back up after its in-flight set drops
+    // below 2 (instead of only after it drains to zero). Leasing
+    // order changes; the merged manifest must not.
+    const std::vector<SweepJob> jobs = tinyGrid({"mcf", "gzip"});
+
+    ExperimentArgs serial;
+    serial.jobs = 1;
+    serial.jsonPath = tempPath("campaign_lowwater_serial.json");
+    const std::vector<SweepOutcome> serialOutcomes =
+        runSweep(serial, "campaign_test", jobs);
+    ASSERT_EQ(serialOutcomes.size(), jobs.size());
+
+    ExperimentArgs camp;
+    camp.jobs = 1;
+    camp.campaignWorkers = 1;
+    camp.campaignChunk = 4;
+    camp.jsonPath = tempPath("campaign_lowwater_merged.json");
+    const std::vector<SweepOutcome> campOutcomes =
+        campaign::runCampaignSweep(camp, "campaign_test", jobs);
+
+    ASSERT_EQ(campOutcomes.size(), jobs.size());
+    for (const SweepOutcome &outcome : campOutcomes)
+        EXPECT_TRUE(outcome.ok()) << outcome.id << ": " << outcome.error;
+    EXPECT_EQ(comparableRuns(serial.jsonPath),
+              comparableRuns(camp.jsonPath));
+
+    std::remove(serial.jsonPath.c_str());
+    std::remove(camp.jsonPath.c_str());
+}
+
+TEST(CampaignEquivalence, RefillTopsUpBeforeTheLeaseDrains)
+{
+    // The protocol-level proof of the low-water refill: a worker
+    // holding chunk=4 runs that has reported only 3 outcomes (one
+    // still in flight) must already receive its next ASSIGN. The old
+    // refill() waited for the in-flight set to empty, so no frame
+    // would arrive here until the 4th outcome crossed the wire.
+    const std::vector<SweepJob> jobs = tinyGrid({"mcf", "gzip"});
+
+    ExperimentArgs camp;
+    camp.jobs = 1;
+    camp.campaignListen = "127.0.0.1:0";
+    camp.campaignChunk = 4;
+
+    std::atomic<std::size_t> topUpRuns{0};
+    std::atomic<std::size_t> inFlightAtTopUp{0};
+    std::thread workerThread;
+    const auto attach = [&](campaign::Coordinator &coordinator) {
+        const std::uint16_t port = coordinator.listenPort();
+        ASSERT_NE(port, 0);
+        workerThread = std::thread([port, &camp, &jobs, &topUpRuns,
+                                    &inFlightAtTopUp] {
+            const std::vector<SweepJob> prepared =
+                prepareSweepJobs(camp, jobs);
+            const int fd = campaign::net::connectTo(
+                {"127.0.0.1", std::to_string(port)});
+            ASSERT_GE(fd, 0);
+
+            campaign::HelloMessage hello;
+            hello.role = "worker";
+            hello.tool = "campaign_test";
+            hello.grid = sweepGridFingerprint(prepared);
+            hello.runs = prepared.size();
+            ASSERT_TRUE(campaign::writeFrame(fd, encode(hello)));
+            auto payload = campaign::readFrame(fd);
+            ASSERT_TRUE(payload.has_value());
+            ASSERT_TRUE(std::holds_alternative<campaign::HelloMessage>(
+                campaign::decodeMessage(*payload)));
+
+            payload = campaign::readFrame(fd);
+            ASSERT_TRUE(payload.has_value());
+            const auto first = std::get<campaign::AssignMessage>(
+                campaign::decodeMessage(*payload));
+            ASSERT_EQ(first.runs.size(), 4u);
+
+            // The coordinator cross-checks indices, not results, so
+            // the regression pin fabricates instant Ok outcomes.
+            const auto report =
+                [fd](const campaign::AssignedRun &run) {
+                    campaign::OutcomeMessage om;
+                    om.index = run.index;
+                    om.outcome.id = run.id;
+                    om.outcome.fingerprint = run.fingerprint;
+                    om.outcome.status = SweepStatus::Ok;
+                    om.outcome.attempts = 1;
+                    ASSERT_TRUE(campaign::writeFrame(fd, encode(om)));
+                };
+            for (std::size_t i = 0; i < 3; ++i)
+                report(first.runs[i]);
+
+            // One run still in flight - the top-up must arrive now.
+            payload = campaign::readFrame(fd);
+            ASSERT_TRUE(payload.has_value());
+            const auto topUp = std::get<campaign::AssignMessage>(
+                campaign::decodeMessage(*payload));
+            topUpRuns = topUp.runs.size();
+            inFlightAtTopUp = 1;
+
+            report(first.runs[3]);
+            for (const campaign::AssignedRun &run : topUp.runs)
+                report(run);
+
+            payload = campaign::readFrame(fd);
+            ASSERT_TRUE(payload.has_value());
+            ASSERT_TRUE(std::holds_alternative<campaign::ByeMessage>(
+                campaign::decodeMessage(*payload)));
+            campaign::writeFrame(
+                fd, encode(campaign::ByeMessage{"complete"}));
+            ::close(fd);
+        });
+    };
+    const std::vector<SweepOutcome> outcomes =
+        campaign::runCampaignSweep(camp, "campaign_test", jobs, attach);
+    workerThread.join();
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    // 6 runs, 4 leased up front: the top-up leased the remaining 2
+    // while 1 of the first chunk was still in flight.
+    EXPECT_EQ(topUpRuns.load(), 2u);
+    EXPECT_EQ(inFlightAtTopUp.load(), 1u);
+}
+
+TEST(CampaignEquivalence, AllWorkersGoneIsAStructuredError)
+{
+    // Regression pin for the stall fix: a coordinator whose only
+    // worker was refused (drifted grid) with every run still queued
+    // used to block in poll() forever waiting for a replacement; it
+    // must now fail structurally.
+    const std::vector<SweepJob> jobs = tinyGrid({"mcf"});
+
+    ExperimentArgs camp;
+    camp.jobs = 1;
+    camp.campaignListen = "127.0.0.1:0";
+    const std::vector<SweepJob> prepared = prepareSweepJobs(camp, jobs);
+    campaign::Coordinator coordinator(camp, "campaign_test", prepared);
+    ASSERT_NE(coordinator.listenPort(), 0);
+
+    std::thread drifted([&coordinator] {
+        const int fd = campaign::net::connectTo(
+            {"127.0.0.1", std::to_string(coordinator.listenPort())});
+        ASSERT_GE(fd, 0);
+        campaign::HelloMessage hello;
+        hello.role = "worker";
+        hello.tool = "campaign_test";
+        hello.grid = "0000000000000000"; // drifted command line
+        ASSERT_TRUE(campaign::writeFrame(fd, encode(hello)));
+        try {
+            campaign::readFrame(fd); // the refusal BYE (or EOF)
+        } catch (const campaign::ProtocolError &) {
+        }
+        ::close(fd);
+    });
+
+    try {
+        ScopedThrowingFatal guard;
+        coordinator.execute({0, 1, 2});
+        FAIL() << "coordinator did not detect the stall";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("campaign stalled"),
+                  std::string::npos)
+            << e.what();
+    }
+    drifted.join();
+    EXPECT_GE(coordinator.stats().protocolErrors, 1u);
 }
 
 TEST(CampaignEquivalence, DriftedWorkerIsRefused)

@@ -161,6 +161,11 @@ TEST(WarmupCacheTest, CorruptDiskFileIsAMissNotAnError)
     EXPECT_EQ(stats.misses, 1u);
     EXPECT_EQ(stats.diskHits, 0u);
 
+    // The rejected file was quarantined (renamed `.bad`), so no later
+    // campaign sharing this directory re-reads and re-rejects it.
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + fp +
+                                        ".vsvsnap.bad"));
+
     // The run fell back to a fresh warmup and matched exactly...
     EXPECT_EQ(out.status, SweepStatus::Ok);
     EXPECT_EQ(out.scalars, reference.scalars);
@@ -198,6 +203,10 @@ TEST(WarmupCacheTest, TruncatedDiskFileIsAMissNotAnError)
     EXPECT_EQ(out.status, SweepStatus::Ok);
     EXPECT_EQ(cache.stats().failures, 1u);
     EXPECT_EQ(cache.stats().misses, 1u);
+    // Quarantined, and the recompute wrote a fresh good file back
+    // under the original name.
+    EXPECT_TRUE(std::filesystem::exists(path + ".bad"));
+    EXPECT_TRUE(std::filesystem::exists(path));
 
     std::filesystem::remove_all(dir);
 }

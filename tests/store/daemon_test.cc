@@ -1,0 +1,199 @@
+/**
+ * @file
+ * ResultDaemon contracts (STORE.md): the query/reply codec rejects
+ * malformed payloads; answer() distinguishes hit, computed miss,
+ * unknown fingerprint, and malformed fingerprint; and a real TCP
+ * round trip over an ephemeral port serves a miss (simulated on the
+ * spot), then a hit with byte-identical run documents, across one
+ * connection carrying several frames.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "campaign/net.hh"
+#include "campaign/protocol.hh"
+#include "harness/experiment.hh"
+#include "store/daemon.hh"
+#include "store/store.hh"
+
+namespace vsv
+{
+namespace store
+{
+namespace
+{
+
+std::string
+freshDir(const std::string &leaf)
+{
+    const std::string dir = testing::TempDir() + leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::vector<SweepJob>
+tinyGrid()
+{
+    std::vector<SweepJob> jobs;
+    SimulationOptions base = makeOptions("mcf", false, 5000, 3000);
+    jobs.push_back({"mcf/base", base});
+    SimulationOptions fsm = base;
+    fsm.vsv = fsmVsvConfig();
+    jobs.push_back({"mcf/fsm", fsm});
+    return jobs;
+}
+
+TEST(StoreProtocolTest, QueryRoundTripsAndRejectsGarbage)
+{
+    QueryMessage query;
+    query.fingerprint = "0123456789abcdef";
+    const QueryMessage back = decodeQuery(encodeQuery(query));
+    EXPECT_EQ(back.fingerprint, query.fingerprint);
+
+    EXPECT_THROW(decodeQuery("not json"), campaign::ProtocolError);
+    EXPECT_THROW(decodeQuery("{\"type\":\"reply\"}"),
+                 campaign::ProtocolError);
+    EXPECT_THROW(decodeQuery("{\"type\":\"query\"}"),
+                 campaign::ProtocolError);
+}
+
+TEST(StoreProtocolTest, ReplyRoundTripsAllShapes)
+{
+    // Error reply: no run document.
+    ReplyMessage failed;
+    failed.fingerprint = "0123456789abcdef";
+    failed.error = "unknown fingerprint: not in this daemon's grid";
+    ReplyMessage back = decodeReply(encodeReply(failed));
+    EXPECT_EQ(back.fingerprint, failed.fingerprint);
+    EXPECT_FALSE(back.hit);
+    EXPECT_FALSE(back.served);
+    EXPECT_EQ(back.error, failed.error);
+
+    // Served reply: the run documents cross as opaque bytes.
+    ReplyMessage served;
+    served.fingerprint = "0123456789abcdef";
+    served.hit = true;
+    served.served = true;
+    served.run.fingerprint = served.fingerprint;
+    served.run.attempts = 3;
+    served.run.resultJson = "{\"ipc\":1.5,\"quote\":\"\\\"x\\\"\"}";
+    served.run.statsJson = "{\"scalars\":{}}";
+    served.run.statsText = "line one\nline two\n";
+    back = decodeReply(encodeReply(served));
+    EXPECT_TRUE(back.hit);
+    ASSERT_TRUE(back.served);
+    EXPECT_EQ(back.run.attempts, 3u);
+    EXPECT_EQ(back.run.resultJson, served.run.resultJson);
+    EXPECT_EQ(back.run.statsJson, served.run.statsJson);
+    EXPECT_EQ(back.run.statsText, served.run.statsText);
+
+    EXPECT_THROW(decodeReply("{\"type\":\"reply\","
+                             "\"fingerprint\":\"x\"}"),
+                 campaign::ProtocolError);
+}
+
+TEST(ResultDaemonTest, AnswerCoversEveryOutcomeShape)
+{
+    const std::string dir = freshDir("vsv_daemon_answer");
+    ResultStore store(dir);
+    ResultDaemon daemon(store, tinyGrid(), "127.0.0.1:0");
+    const std::string fp =
+        configFingerprint(tinyGrid()[0].options);
+
+    ReplyMessage reply = daemon.answer("not-hex");
+    EXPECT_FALSE(reply.served);
+    EXPECT_NE(reply.error.find("malformed fingerprint"),
+              std::string::npos);
+
+    reply = daemon.answer("ffffffffffffffff");
+    EXPECT_FALSE(reply.served);
+    EXPECT_NE(reply.error.find("unknown fingerprint"),
+              std::string::npos);
+
+    // First ask simulates (miss), second serves the cached bytes.
+    reply = daemon.answer(fp);
+    ASSERT_TRUE(reply.served) << reply.error;
+    EXPECT_FALSE(reply.hit);
+    const std::string coldResult = reply.run.resultJson;
+    EXPECT_FALSE(coldResult.empty());
+
+    reply = daemon.answer(fp);
+    ASSERT_TRUE(reply.served) << reply.error;
+    EXPECT_TRUE(reply.hit);
+    EXPECT_EQ(reply.run.resultJson, coldResult);
+
+    EXPECT_EQ(store.stats().hits, 1u);
+    EXPECT_EQ(store.stats().inserts, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultDaemonTest, ServesQueriesOverTcp)
+{
+    const std::string dir = freshDir("vsv_daemon_tcp");
+    ResultStore store(dir);
+    ResultDaemon daemon(store, tinyGrid(), "127.0.0.1:0");
+    ASSERT_GT(daemon.port(), 0);
+
+    std::thread server([&daemon] { daemon.serve(); });
+
+    const int fd = campaign::net::connectTo(
+        {"127.0.0.1", std::to_string(daemon.port())});
+    ASSERT_GE(fd, 0);
+
+    const auto ask = [fd](const std::string &fp) {
+        QueryMessage query;
+        query.fingerprint = fp;
+        EXPECT_TRUE(campaign::writeFrame(fd, encodeQuery(query)));
+        const std::optional<std::string> payload =
+            campaign::readFrame(fd);
+        EXPECT_TRUE(payload.has_value());
+        return decodeReply(*payload);
+    };
+
+    const std::string fp =
+        configFingerprint(tinyGrid()[0].options);
+
+    // Miss: the daemon simulates on the spot and serves fresh bytes.
+    ReplyMessage reply = ask(fp);
+    ASSERT_TRUE(reply.served) << reply.error;
+    EXPECT_FALSE(reply.hit);
+    EXPECT_EQ(reply.fingerprint, fp);
+    const StoreEntry cold = reply.run;
+
+    // Hit on the same connection: identical bytes, no simulation.
+    reply = ask(fp);
+    ASSERT_TRUE(reply.served) << reply.error;
+    EXPECT_TRUE(reply.hit);
+    EXPECT_EQ(reply.run.resultJson, cold.resultJson);
+    EXPECT_EQ(reply.run.statsJson, cold.statsJson);
+    EXPECT_EQ(reply.run.statsText, cold.statsText);
+
+    // Errors are answered in-band, not by dropping the client.
+    reply = ask("ffffffffffffffff");
+    EXPECT_FALSE(reply.served);
+    EXPECT_NE(reply.error.find("unknown fingerprint"),
+              std::string::npos);
+
+    ::close(fd);
+    daemon.requestStop();
+    server.join();
+
+    // The computed miss was persisted: a fresh store over the same
+    // directory serves it without a daemon.
+    ResultStore reopened(dir);
+    const std::optional<StoreEntry> entry = reopened.lookup(fp);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->resultJson, cold.resultJson);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace store
+} // namespace vsv
